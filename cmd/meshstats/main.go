@@ -1,0 +1,69 @@
+// Command meshstats prints the Fig. 9 level-census statistics for a
+// feature-refined jet-atomization mesh: the fraction of elements per
+// octree level, and the domain volume fraction covered by the finest
+// level (≈0.01% in the paper at level 15 — tiny here too, at a reduced
+// depth).
+//
+//	go run ./cmd/meshstats -fine 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"strings"
+
+	"proteus/internal/octree"
+	"proteus/internal/sfc"
+)
+
+func main() {
+	bulk := flag.Int("bulk", 2, "bulk refinement level")
+	iface := flag.Int("interface", 5, "interface refinement level")
+	fine := flag.Int("fine", 7, "feature refinement level (thinning necks)")
+	flag.Parse()
+
+	tr := octree.Build(3, func(o sfc.Octant) bool {
+		if int(o.Level) < *bulk {
+			return true
+		}
+		s := float64(o.Side()) / float64(sfc.MaxCoord)
+		x := float64(o.X)/float64(sfc.MaxCoord) + s/2
+		y := float64(o.Y)/float64(sfc.MaxCoord) + s/2
+		z := float64(o.Z)/float64(sfc.MaxCoord) + s/2
+		r := math.Hypot(y-0.5, z-0.5)
+		rad := 0.1 + 0.035*math.Cos(4*math.Pi*x)
+		dist := math.Abs(r - rad)
+		switch {
+		case int(o.Level) < *iface:
+			return dist < 0.08
+		case int(o.Level) < *fine:
+			// The detector refines deepest at the thinning necks.
+			return dist < 0.02 && math.Abs(math.Cos(4*math.Pi*x)+1) < 0.25
+		default:
+			return false
+		}
+	}, *fine, nil).Balance21(nil)
+
+	lmin, lmax := tr.MinMaxLevel()
+	fmt.Printf("jet mesh: %d elements, levels %d..%d\n\n", tr.Len(), lmin, lmax)
+	fmt.Println("Fig. 9 — element fraction per level:")
+	h := tr.LevelHistogram()
+	for l, f := range h {
+		if f == 0 {
+			continue
+		}
+		fmt.Printf("  level %2d: %6.3f %s\n", l, f, strings.Repeat("#", int(f*60)))
+	}
+	fmt.Println("\nvolume fraction per level:")
+	for l := range h {
+		if h[l] == 0 {
+			continue
+		}
+		v := tr.VolumeFractionAtLevel(l)
+		fmt.Printf("  level %2d: %8.4f%%\n", l, v*100)
+	}
+	fmt.Println("\nPaper shape: max element fraction at the finest level, which")
+	fmt.Println("nevertheless covers a vanishing volume fraction — the essence of")
+	fmt.Println("why adaptivity makes the 35-trillion-point run feasible.")
+}

@@ -1,0 +1,126 @@
+// Detection demo (Fig. 2 of the paper): the erosion/dilation pipeline
+// identifies a small drop and a thin filament connecting two large blobs,
+// while the blobs themselves are left alone. Prints ASCII maps of the
+// thresholded field and the detected local-Cahn region.
+//
+//	go run ./examples/detection
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"strings"
+
+	"proteus/internal/detect"
+	"proteus/internal/mesh"
+	"proteus/internal/octree"
+	"proteus/internal/par"
+)
+
+func main() {
+	level := flag.Int("level", 6, "uniform mesh level (grid 2^level per side)")
+	flag.Parse()
+
+	par.Run(1, func(c *par.Comm) {
+		tr := octree.Uniform(2, *level)
+		m := mesh.New(c, 2, tr.Leaves)
+
+		// Scene: two large blobs, a thin filament between them, and a
+		// small drop in the corner. φ=-1 inside features.
+		sdf := func(x, y float64) float64 {
+			blobA := math.Hypot(x-0.22, y-0.62) - 0.14
+			blobB := math.Hypot(x-0.78, y-0.62) - 0.14
+			fil := math.Abs(y-0.62) - 0.018
+			if x < 0.22 || x > 0.78 {
+				fil = 1
+			}
+			drop := math.Hypot(x-0.3, y-0.2) - 0.035
+			return minF(blobA, blobB, fil, drop)
+		}
+		phi := m.NewVec(1)
+		for i := 0; i < m.NumLocal; i++ {
+			x, y, _ := m.NodeCoord(i)
+			if sdf(x, y) < 0 {
+				phi[i] = -1
+			} else {
+				phi[i] = 1
+			}
+		}
+		res := detect.Identify(m, phi, detect.Config{
+			Delta: -0.8, ErodeSteps: 3, DilateSteps: 5,
+			CleanSteps: 0, PadSteps: 1, BaseLevel: *level,
+		})
+		fmt.Println("thresholded field T(φ) (# = immersed):")
+		printElems(m, func(e int) bool {
+			return res.Interface[e] || elemInside(m, phi, e)
+		})
+		fmt.Println("\ndetected local-Cahn region S(φ) (# = reduce Cn / refine):")
+		printElems(m, func(e int) bool { return res.ReduceCahn[e] })
+		fmt.Printf("\n%d of %d elements marked: the small drop and the thin\n",
+			res.NumReduced, m.NumElems())
+		fmt.Println("filament are detected; the large blobs survive erosion and are")
+		fmt.Println("not marked (compare Fig. 2 of the paper).")
+	})
+}
+
+func elemInside(m *mesh.Mesh, phi []float64, e int) bool {
+	buf := make([]float64, m.CornersPerElem())
+	m.GatherElem(e, phi, 1, buf)
+	s := 0.0
+	for _, v := range buf {
+		s += v
+	}
+	return s < 0
+}
+
+// printElems renders the element grid (assumes a uniform 2D mesh).
+func printElems(m *mesh.Mesh, marked func(e int) bool) {
+	n := 1
+	for n*n < m.NumElems() {
+		n++
+	}
+	grid := make([][]byte, n)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", n))
+	}
+	for e := 0; e < m.NumElems(); e++ {
+		ox, oy, _ := m.ElemOrigin(e)
+		h := m.ElemSize(e)
+		ix := int(ox / h)
+		iy := int(oy / h)
+		if marked(e) {
+			grid[n-1-iy][ix] = '#'
+		}
+	}
+	// Downsample to at most 64 columns for the terminal.
+	stride := 1
+	for n/stride > 64 {
+		stride++
+	}
+	for r := 0; r < n; r += stride {
+		var sb strings.Builder
+		for cx := 0; cx < n; cx += stride {
+			ch := byte('.')
+			for dy := 0; dy < stride && r+dy < n; dy++ {
+				for dx := 0; dx < stride && cx+dx < n; dx++ {
+					if grid[r+dy][cx+dx] == '#' {
+						ch = '#'
+					}
+				}
+			}
+			sb.WriteByte(ch)
+		}
+		fmt.Println(sb.String())
+	}
+}
+
+func minF(vs ...float64) float64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

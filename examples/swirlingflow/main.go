@@ -1,0 +1,102 @@
+// Swirling-flow validation (Fig. 5 of the paper): a drop advected by the
+// single-vortex field ψ = (1/π) sin²(πx) sin²(πy) stretches into a thin
+// spiralling filament. Insufficient interface resolution produces
+// artificial numerical breakup; the local-Cahn technique prevents it at a
+// fraction of the uniformly fine cost.
+//
+// Three configurations are compared, exactly as in the paper's figure:
+//
+//	coarse : constant Cn, interface at the coarse level  -> breaks up
+//	fine   : constant Cn/2.5, interface one level deeper -> intact, slow
+//	local  : coarse everywhere, fine only where detected -> intact, cheap
+//
+//	go run ./examples/swirlingflow -steps 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"time"
+
+	"proteus/internal/chns"
+	"proteus/internal/core"
+	"proteus/internal/par"
+)
+
+func swirl(x, y, z, t float64) (float64, float64, float64) {
+	sx := math.Sin(math.Pi * x)
+	sy := math.Sin(math.Pi * y)
+	// Stream function ψ = (1/π) sin²(πx) sin²(πy):
+	// u = ∂ψ/∂y = 2 sin²(πx) sin(πy) cos(πy),
+	// v = -∂ψ/∂x = -2 sin(πx) cos(πx) sin²(πy).
+	u := 2 * sx * sx * sy * math.Cos(math.Pi*y)
+	v := -2 * sx * math.Cos(math.Pi*x) * sy * sy
+	return u, v, 0
+}
+
+type result struct {
+	name      string
+	drops     int
+	elems     int64
+	elapsed   time.Duration
+	massDrift float64
+}
+
+var dtFlag = flag.Float64("dt", 2.5e-3, "time step")
+
+func run(name string, ranks, steps int, interfaceLevel, fineLevel int, cn, fineCn float64, local bool) result {
+	var res result
+	res.name = name
+	p := chns.DefaultParams()
+	p.Cn = cn
+	p.Pe = 1000
+	cfg := core.Config{
+		Dim: 2, Params: p, Opt: chns.DefaultOptions(*dtFlag),
+		BulkLevel: 3, InterfaceLevel: interfaceLevel, FineLevel: fineLevel,
+		LocalCahn: local, FineCn: fineCn,
+		Delta:         -0.5,
+		RemeshEvery:   4,
+		PrescribedVel: swirl,
+	}
+	par.Run(ranks, func(c *par.Comm) {
+		sim := core.New(c, cfg, func(x, y, z float64) float64 {
+			// Drop of radius 0.15 at (0.5, 0.75), as in Guo et al.
+			return chns.EquilibriumProfile(math.Hypot(x-0.5, y-0.75)-0.15, cn)
+		})
+		m0 := sim.Solver.PhiMass()
+		t0 := time.Now()
+		sim.Run(steps)
+		elapsed := time.Since(t0)
+		elems := sim.GlobalElems()
+		drift := math.Abs(sim.Solver.PhiMass()-m0) / math.Abs(m0)
+		drops := sim.CountDrops(-0.3)
+		if c.Rank() == 0 {
+			res.elapsed = elapsed
+			res.elems = elems
+			res.massDrift = drift
+			res.drops = drops
+		}
+	})
+	return res
+}
+
+func main() {
+	ranks := flag.Int("ranks", 4, "in-process ranks")
+	steps := flag.Int("steps", 32, "time steps")
+	flag.Parse()
+
+	// Levels scaled down from the paper's 9/12 to laptop scale 5/6.
+	coarse := run("coarse Cn", *ranks, *steps, 5, 5, 0.02, 0.02, false)
+	fine := run("fine Cn", *ranks, *steps, 6, 6, 0.008, 0.008, false)
+	local := run("local Cn", *ranks, *steps, 5, 6, 0.02, 0.008, true)
+
+	fmt.Println("\nFig. 5 reproduction — swirling-flow drop stretching:")
+	fmt.Printf("%-10s %8s %10s %12s %10s\n", "case", "drops", "elements", "time", "massdrift")
+	for _, r := range []result{coarse, fine, local} {
+		fmt.Printf("%-10s %8d %10d %12v %10.2e\n", r.name, r.drops, r.elems, r.elapsed.Round(time.Millisecond), r.massDrift)
+	}
+	fmt.Println("\nExpected shape (paper): the coarse case fragments (drops > 1);")
+	fmt.Println("fine and local stay intact (1 drop), with local costing a")
+	fmt.Println("fraction of fine (the paper reports 4 vs 44 node-hours).")
+}

@@ -1,0 +1,152 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func naiveGemm(m, n, k int, alpha float64, a, b []float64, beta float64, c []float64) []float64 {
+	out := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for l := 0; l < k; l++ {
+				s += a[i*k+l] * b[l*n+j]
+			}
+			out[i*n+j] = alpha*s + beta*c[i*n+j]
+		}
+	}
+	return out
+}
+
+func randSlice(r *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = r.NormFloat64()
+	}
+	return s
+}
+
+func TestDgemmMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 200; iter++ {
+		m, n, k := 1+r.Intn(9), 1+r.Intn(9), 1+r.Intn(9)
+		a := randSlice(r, m*k)
+		b := randSlice(r, k*n)
+		c := randSlice(r, m*n)
+		alpha, beta := r.NormFloat64(), r.NormFloat64()
+		want := naiveGemm(m, n, k, alpha, a, b, beta, c)
+		got := append([]float64(nil), c...)
+		Dgemm(m, n, k, alpha, a, b, beta, got)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-11 {
+				t.Fatalf("m=%d n=%d k=%d entry %d: got %v want %v", m, n, k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDgemmTAMatchesTransposedNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 200; iter++ {
+		m, n, k := 1+r.Intn(9), 1+r.Intn(9), 1+r.Intn(9)
+		a := randSlice(r, k*m) // A is k x m, we multiply A^T (m x k)
+		b := randSlice(r, k*n)
+		c := randSlice(r, m*n)
+		at := make([]float64, m*k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < m; j++ {
+				at[j*k+i] = a[i*m+j]
+			}
+		}
+		want := naiveGemm(m, n, k, 1.5, at, b, 0.5, c)
+		got := append([]float64(nil), c...)
+		DgemmTA(m, n, k, 1.5, a, b, 0.5, got)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-11 {
+				t.Fatalf("entry %d: got %v want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDgemvAndTranspose(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 200; iter++ {
+		m, n := 1+r.Intn(12), 1+r.Intn(12)
+		a := randSlice(r, m*n)
+		x := randSlice(r, n)
+		y := randSlice(r, m)
+		want := make([]float64, m)
+		for i := 0; i < m; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += a[i*n+j] * x[j]
+			}
+			want[i] = 2*s + 3*y[i]
+		}
+		got := append([]float64(nil), y...)
+		Dgemv(m, n, 2, a, x, 3, got)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-11 {
+				t.Fatalf("gemv entry %d: got %v want %v", i, got[i], want[i])
+			}
+		}
+		// Transpose: y2 = A^T x2.
+		x2 := randSlice(r, m)
+		want2 := make([]float64, n)
+		for j := 0; j < n; j++ {
+			var s float64
+			for i := 0; i < m; i++ {
+				s += a[i*n+j] * x2[i]
+			}
+			want2[j] = s
+		}
+		got2 := make([]float64, n)
+		DgemvT(m, n, 1, a, x2, 0, got2)
+		for j := range want2 {
+			if math.Abs(got2[j]-want2[j]) > 1e-11 {
+				t.Fatalf("gemvT entry %d: got %v want %v", j, got2[j], want2[j])
+			}
+		}
+	}
+}
+
+func TestDgemmBetaZeroOverwritesGarbage(t *testing.T) {
+	c := []float64{math.NaN(), math.NaN()}
+	Dgemm(1, 2, 1, 1, []float64{1}, []float64{2, 3}, 0, c)
+	if c[0] != 2 || c[1] != 3 {
+		t.Fatalf("beta=0 must ignore prior contents: %v", c)
+	}
+}
+
+func TestDgemmLinearity(t *testing.T) {
+	// Property: Dgemm is linear in A.
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n, k := 2+r.Intn(4), 2+r.Intn(4), 2+r.Intn(4)
+		a1 := randSlice(r, m*k)
+		a2 := randSlice(r, m*k)
+		b := randSlice(r, k*n)
+		sum := make([]float64, m*k)
+		for i := range sum {
+			sum[i] = a1[i] + a2[i]
+		}
+		c1 := make([]float64, m*n)
+		Dgemm(m, n, k, 1, a1, b, 0, c1)
+		Dgemm(m, n, k, 1, a2, b, 1, c1)
+		c2 := make([]float64, m*n)
+		Dgemm(m, n, k, 1, sum, b, 0, c2)
+		for i := range c1 {
+			if math.Abs(c1[i]-c2[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

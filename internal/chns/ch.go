@@ -1,0 +1,259 @@
+package chns
+
+import (
+	"time"
+
+	"proteus/internal/blas"
+	"proteus/internal/fem"
+	"proteus/internal/la"
+)
+
+// chOps holds the elemental operator blocks the CH residual and Jacobian
+// are combined from. All are NPE x NPE scalar blocks.
+type chOps struct {
+	Me  []float64 // mass
+	Ke  []float64 // stiffness
+	Kme []float64 // mobility-weighted stiffness
+	Ce  []float64 // convection with the current velocity
+	Mpp []float64 // ψ''(φ)-weighted mass
+}
+
+func newCHOps(npe int) *chOps {
+	n := npe * npe
+	return &chOps{
+		Me: make([]float64, n), Ke: make([]float64, n),
+		Kme: make([]float64, n), Ce: make([]float64, n),
+		Mpp: make([]float64, n),
+	}
+}
+
+func (o *chOps) zero() {
+	for _, b := range [][]float64{o.Me, o.Ke, o.Kme, o.Ce, o.Mpp} {
+		for i := range b {
+			b[i] = 0
+		}
+	}
+}
+
+// chProblem is the Newton problem for the fully implicit CH block.
+type chProblem struct {
+	s     *Solver
+	old   []float64 // φ,μ at time n (ghost-consistent copy)
+	dt    float64
+	theta float64
+}
+
+// buildOps assembles the elemental blocks for element e, with the
+// mobility and ψ” coefficients evaluated at the corner values phiC.
+// Uses the explicit-loop operators or the zipped GEMM operators depending
+// on the configured layout (Table I stage 2).
+func (p *chProblem) buildOps(e int, h float64, phiC, velC []float64, ops *chOps) {
+	s := p.s
+	r := s.asmCH.Ref
+	npe := r.NPE
+	ops.zero()
+	mob := make([]float64, npe)
+	psi2 := make([]float64, npe)
+	for a := 0; a < npe; a++ {
+		mob[a] = s.Par.Mobility(phiC[a*2])
+		psi2[a] = PsiDoublePrime(phiC[a*2])
+	}
+	if s.Opt.Layout == fem.LayoutZipped {
+		w := s.asmCH.Work()
+		mobG := make([]float64, r.NG)
+		psiG := make([]float64, r.NG)
+		r.CoefAtGauss(mob, mobG)
+		r.CoefAtGauss(psi2, psiG)
+		r.MassGemm(w, h, 1, nil, ops.Me)
+		r.StiffGemm(w, h, 1, nil, ops.Ke)
+		r.StiffGemm(w, h, 1, mobG, ops.Kme)
+		r.ConvGemm(w, h, 1, velC, ops.Ce)
+		r.MassGemm(w, h, 1, psiG, ops.Mpp)
+		return
+	}
+	r.Mass(h, 1, ops.Me)
+	r.Stiffness(h, 1, ops.Ke)
+	r.WeightedStiffness(h, mob, 1, ops.Kme)
+	r.Convection(h, velC, 1, ops.Ce)
+	r.WeightedMass(h, psi2, 1, ops.Mpp)
+}
+
+// gatherCorners extracts φ,μ and velocity corner values for element e.
+func (p *chProblem) gatherCorners(e int, x []float64, pm, vel []float64) {
+	p.s.M.GatherElem(e, x, 2, pm)
+	p.s.M.GatherElem(e, p.s.Vel, p.s.M.Dim, vel)
+}
+
+// Residual implements la.NewtonProblem.
+func (p *chProblem) Residual(x, res []float64) {
+	s := p.s
+	defer timed(&s.T.CH.Vector)()
+	m := s.M
+	m.GhostRead(x, 2)
+	r := s.asmCH.Ref
+	npe := r.NPE
+	ops := newCHOps(npe)
+	pm := make([]float64, npe*2)
+	pmOld := make([]float64, npe*2)
+	vel := make([]float64, npe*m.Dim)
+	phiNew := make([]float64, npe)
+	muNew := make([]float64, npe)
+	phiOld := make([]float64, npe)
+	muOld := make([]float64, npe)
+	psi1 := make([]float64, npe)
+	tmp := make([]float64, npe)
+	load := make([]float64, npe)
+	s.asmCH.AssembleVector(res, func(e int, h float64, fe []float64) {
+		p.gatherCorners(e, x, pm, vel)
+		m.GatherElem(e, p.old, 2, pmOld)
+		for a := 0; a < npe; a++ {
+			phiNew[a] = pm[a*2]
+			muNew[a] = pm[a*2+1]
+			phiOld[a] = pmOld[a*2]
+			muOld[a] = pmOld[a*2+1]
+			psi1[a] = PsiPrime(phiNew[a])
+		}
+		p.buildOps(e, h, pm, vel, ops)
+		cn := s.ElemCn[e]
+		diff := 1 / (s.Par.Pe * cn)
+		th, th1 := p.theta, 1-p.theta
+		// R_phi = M(phi-phiOld)/dt + th[C phi + D Km mu]
+		//       + (1-th)[C phiOld + D Km muOld]
+		addMatVec(fe, 0, 2, ops.Me, phiNew, 1/p.dt, tmp, npe)
+		addMatVec(fe, 0, 2, ops.Me, phiOld, -1/p.dt, tmp, npe)
+		addMatVec(fe, 0, 2, ops.Ce, phiNew, th, tmp, npe)
+		addMatVec(fe, 0, 2, ops.Kme, muNew, th*diff, tmp, npe)
+		addMatVec(fe, 0, 2, ops.Ce, phiOld, th1, tmp, npe)
+		addMatVec(fe, 0, 2, ops.Kme, muOld, th1*diff, tmp, npe)
+		// R_mu = M mu - F(psi'(phi)) - Cn^2 K phi
+		addMatVec(fe, 1, 2, ops.Me, muNew, 1, tmp, npe)
+		for i := range load {
+			load[i] = 0
+		}
+		r.LoadVector(h, psi1, 1, load)
+		for a := 0; a < npe; a++ {
+			fe[a*2+1] -= load[a]
+		}
+		addMatVec(fe, 1, 2, ops.Ke, phiNew, -cn*cn, tmp, npe)
+	})
+}
+
+// addMatVec computes fe[a*ndof+dof] += scale * (A * v)_a with A npe x npe.
+func addMatVec(fe []float64, dof, ndof int, a, v []float64, scale float64, tmp []float64, npe int) {
+	blas.Dgemv(npe, npe, scale, a, v, 0, tmp)
+	for i := 0; i < npe; i++ {
+		fe[i*ndof+dof] += tmp[i]
+	}
+}
+
+// Jacobian implements la.NewtonProblem: blocks
+//
+//	J(φ,φ) = M/dt + θC        J(φ,μ) = θ/(Pe Cn) K_m
+//	J(μ,φ) = -M_{ψ''} - Cn²K  J(μ,μ) = M
+func (p *chProblem) Jacobian(x []float64) (la.Operator, la.PC) {
+	s := p.s
+	defer timed(&s.T.CH.Matrix)()
+	m := s.M
+	m.GhostRead(x, 2)
+	r := s.asmCH.Ref
+	npe := r.NPE
+	ops := newCHOps(npe)
+	pm := make([]float64, npe*2)
+	vel := make([]float64, npe*m.Dim)
+	mat := fem.NewMatrix(m, 2, s.Opt.Layout)
+	fill := func(e int, h float64, blocks [][]float64) {
+		p.gatherCorners(e, x, pm, vel)
+		p.buildOps(e, h, pm, vel, ops)
+		cn := s.ElemCn[e]
+		diff := 1 / (s.Par.Pe * cn)
+		th := p.theta
+		n2 := npe * npe
+		for i := 0; i < n2; i++ {
+			blocks[0][i] = ops.Me[i]/p.dt + th*ops.Ce[i]
+			blocks[1][i] = th * diff * ops.Kme[i]
+			blocks[2][i] = -ops.Mpp[i] - cn*cn*ops.Ke[i]
+			blocks[3][i] = ops.Me[i]
+		}
+	}
+	if s.Opt.Layout == fem.LayoutZipped {
+		s.asmCH.AssembleMatrixZipped(mat, fill)
+	} else {
+		blocks := make([][]float64, 4)
+		for i := range blocks {
+			blocks[i] = make([]float64, npe*npe)
+		}
+		s.asmCH.AssembleMatrix(mat, s.Opt.Layout, func(e int, h float64, ke []float64) {
+			fill(e, h, blocks)
+			fem.UnzipMat(2, npe, blocks, ke)
+		})
+	}
+	mat.Finalize()
+	return mat, la.NewPCBJacobiILU0(mat)
+}
+
+// StepCH advances the Cahn–Hilliard block one time step with the current
+// velocity field (Table II: bcgs + bjacobi inside Newton). If velOverride
+// is non-nil it replaces s.Vel for this step.
+func (s *Solver) StepCH(velOverride []float64) {
+	t0 := time.Now()
+	if velOverride != nil {
+		copy(s.Vel, velOverride)
+	}
+	m := s.M
+	m.GhostRead(s.PhiMu, 2)
+	m.GhostRead(s.Vel, m.Dim)
+	old := append([]float64(nil), s.PhiMu...)
+	p := &chProblem{s: s, old: old, dt: s.Opt.Dt, theta: s.Opt.Theta}
+	nw := &la.Newton{Red: m, KSP: la.BiCGS, Rtol: s.Opt.NonlinTol, Atol: s.Opt.NonlinTol,
+		LinRtol: s.Opt.LinTol, MaxIt: 30}
+	nw.Solve(p, s.PhiMu)
+	m.GhostRead(s.PhiMu, 2)
+	st := &s.T.CH
+	st.Total += time.Since(t0)
+	st.Iterations += nw.LinearIterations
+}
+
+// InitMuFromPhi sets μ = ψ'(φ) - Cn²Δφ consistently by solving the mass
+// system M μ = F(ψ'(φ)) + Cn² K φ, so the first step does not see a
+// spurious chemical potential.
+func (s *Solver) InitMuFromPhi() {
+	m := s.M
+	m.GhostRead(s.PhiMu, 2)
+	r := s.asmS.Ref
+	npe := r.NPE
+	rhs := m.NewVec(1)
+	pm := make([]float64, npe*2)
+	phiC := make([]float64, npe)
+	psi1 := make([]float64, npe)
+	ke := make([]float64, npe*npe)
+	tmp := make([]float64, npe)
+	s.asmS.AssembleVector(rhs, func(e int, h float64, fe []float64) {
+		m.GatherElem(e, s.PhiMu, 2, pm)
+		for a := 0; a < npe; a++ {
+			phiC[a] = pm[a*2]
+			psi1[a] = PsiPrime(phiC[a])
+		}
+		r.LoadVector(h, psi1, 1, fe)
+		for i := range ke {
+			ke[i] = 0
+		}
+		r.Stiffness(h, 1, ke)
+		cn := s.ElemCn[e]
+		blas.Dgemv(npe, npe, cn*cn, ke, phiC, 0, tmp)
+		for a := 0; a < npe; a++ {
+			fe[a] += tmp[a]
+		}
+	})
+	mass := fem.NewMatrix(m, 1, fem.LayoutBAIJ)
+	s.asmS.AssembleMatrix(mass, fem.LayoutBAIJ, func(e int, h float64, ke []float64) {
+		r.Mass(h, 1, ke)
+	})
+	mass.Finalize()
+	mu := m.NewVec(1)
+	ksp := &la.KSP{Op: mass, PC: la.NewPCJacobi(mass), Red: m, Type: la.CG, Rtol: 1e-10}
+	ksp.Solve(rhs, mu)
+	m.GhostRead(mu, 1)
+	for i := 0; i < m.NumLocal; i++ {
+		s.PhiMu[i*2+1] = mu[i]
+	}
+}

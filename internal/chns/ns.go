@@ -1,0 +1,234 @@
+package chns
+
+import (
+	"time"
+
+	"proteus/internal/blas"
+	"proteus/internal/fem"
+	"proteus/internal/la"
+)
+
+// StepNS solves the linearized semi-implicit momentum block for the
+// tentative velocity v* (Table II: bcgs + bjacobi). The convection
+// velocity and the mixture properties are evaluated from the current φ
+// (just updated by CH-solve) and the previous velocity, which linearizes
+// the system and avoids a Newton setup (Sec. II-A).
+//
+//	[M_ρ/dt + θ C_ρ(vⁿ) + θ K_η/Re] v* =
+//	   M_ρ vⁿ/dt - (1-θ)[C_ρ(vⁿ) + K_η/Re] vⁿ
+//	   - G pⁿ + F_st(φ) + F_g(ρ) - C_J(∇μ) vⁿ
+//
+// with the capillary force F_st = -(Cn/We) ∫ ∇N : (∇φ⊗∇φ), gravity
+// F_g = ∫ N ρ ĝ/Fr, and the thermodynamic mass-flux convection C_J
+// carrying J = ((ρ⁻/ρ⁺-1)/2)(Cn/Pe) m(φ)∇μ (treated explicitly).
+func (s *Solver) StepNS() {
+	t0 := time.Now()
+	m := s.M
+	dim := m.Dim
+	r := s.asmVel.Ref
+	npe := r.NPE
+	m.GhostRead(s.PhiMu, 2)
+	m.GhostRead(s.Vel, dim)
+	m.GhostRead(s.P, 1)
+
+	th := s.Opt.Theta
+	dt := s.Opt.Dt
+
+	pm := make([]float64, npe*2)
+	velC := make([]float64, npe*dim)
+	pC := make([]float64, npe)
+	rho := make([]float64, npe)
+	eta := make([]float64, npe)
+	phiC := make([]float64, npe)
+	muC := make([]float64, npe)
+
+	// Matrix: same scalar operator on each velocity component (the
+	// viscous cross-coupling is lumped into the component Laplacian).
+	tMat := time.Now()
+	mat := fem.NewMatrix(m, dim, s.Opt.Layout)
+	scalarOp := make([]float64, npe*npe)
+	buildScalar := func(e int, h float64) {
+		m.GatherElem(e, s.PhiMu, 2, pm)
+		m.GatherElem(e, s.Vel, dim, velC)
+		for a := 0; a < npe; a++ {
+			phiC[a] = pm[a*2]
+			rho[a] = s.Par.Density(phiC[a])
+			eta[a] = s.Par.Viscosity(phiC[a])
+		}
+		for i := range scalarOp {
+			scalarOp[i] = 0
+		}
+		if s.Opt.Layout == fem.LayoutZipped {
+			w := s.asmVel.Work()
+			rhoG := make([]float64, r.NG)
+			etaG := make([]float64, r.NG)
+			r.CoefAtGauss(rho, rhoG)
+			r.CoefAtGauss(eta, etaG)
+			tmp := make([]float64, npe*npe)
+			r.MassGemm(w, h, 1/dt, rhoG, scalarOp)
+			r.StiffGemm(w, h, th/s.Par.Re, etaG, tmp)
+			for i := range tmp {
+				scalarOp[i] += tmp[i]
+			}
+			// ρ-weighted convection: fold ρ into the velocity samples.
+			rvel := make([]float64, npe*dim)
+			for a := 0; a < npe; a++ {
+				for d := 0; d < dim; d++ {
+					rvel[a*dim+d] = rho[a] * velC[a*dim+d]
+				}
+			}
+			r.ConvGemm(w, h, th, rvel, tmp)
+			for i := range tmp {
+				scalarOp[i] += tmp[i]
+			}
+			return
+		}
+		r.WeightedMass(h, rho, 1/dt, scalarOp)
+		r.WeightedStiffness(h, eta, th/s.Par.Re, scalarOp)
+		rvel := make([]float64, npe*dim)
+		for a := 0; a < npe; a++ {
+			for d := 0; d < dim; d++ {
+				rvel[a*dim+d] = rho[a] * velC[a*dim+d]
+			}
+		}
+		r.Convection(h, rvel, th, scalarOp)
+	}
+	if s.Opt.Layout == fem.LayoutZipped {
+		s.asmVel.AssembleMatrixZipped(mat, func(e int, h float64, blocks [][]float64) {
+			buildScalar(e, h)
+			for d := 0; d < dim; d++ {
+				copy(blocks[d*dim+d], scalarOp)
+			}
+		})
+	} else {
+		s.asmVel.AssembleMatrix(mat, s.Opt.Layout, func(e int, h float64, ke []float64) {
+			buildScalar(e, h)
+			n := npe * dim
+			for a := 0; a < npe; a++ {
+				for b := 0; b < npe; b++ {
+					v := scalarOp[a*npe+b]
+					for d := 0; d < dim; d++ {
+						ke[(a*dim+d)*n+b*dim+d] = v
+					}
+				}
+			}
+		})
+	}
+	s.T.NS.Matrix += time.Since(tMat)
+
+	// RHS.
+	tVec := time.Now()
+	rhs := m.NewVec(dim)
+	tmp := make([]float64, npe)
+	scalarOld := make([]float64, npe*npe)
+	s.asmVel.AssembleVector(rhs, func(e int, h float64, fe []float64) {
+		m.GatherElem(e, s.PhiMu, 2, pm)
+		m.GatherElem(e, s.Vel, dim, velC)
+		m.GatherElem(e, s.P, 1, pC)
+		for a := 0; a < npe; a++ {
+			phiC[a] = pm[a*2]
+			muC[a] = pm[a*2+1]
+			rho[a] = s.Par.Density(phiC[a])
+			eta[a] = s.Par.Viscosity(phiC[a])
+		}
+		// Old-velocity terms: M_ρ vⁿ/dt - (1-θ)[C_ρ(vⁿ)+K_η/Re] vⁿ.
+		for i := range scalarOld {
+			scalarOld[i] = 0
+		}
+		r.WeightedMass(h, rho, 1/dt, scalarOld)
+		rvel := make([]float64, npe*dim)
+		for a := 0; a < npe; a++ {
+			for d := 0; d < dim; d++ {
+				rvel[a*dim+d] = rho[a] * velC[a*dim+d]
+			}
+		}
+		r.Convection(h, rvel, -(1 - th), scalarOld)
+		visc := make([]float64, npe*npe)
+		r.WeightedStiffness(h, eta, -(1-th)/s.Par.Re, visc)
+		for i := range scalarOld {
+			scalarOld[i] += visc[i]
+		}
+		comp := make([]float64, npe)
+		for d := 0; d < dim; d++ {
+			for a := 0; a < npe; a++ {
+				comp[a] = velC[a*dim+d]
+			}
+			blas.Dgemv(npe, npe, 1, scalarOld, comp, 0, tmp)
+			for a := 0; a < npe; a++ {
+				fe[a*dim+d] += tmp[a]
+			}
+		}
+		// Quadrature-point force terms.
+		cn := s.ElemCn[e]
+		stc := cn / s.Par.We
+		jfc := (s.Par.RhoMinus - 1) / 2 * cn / s.Par.Pe
+		vol := 1.0
+		for d := 0; d < dim; d++ {
+			vol *= h
+		}
+		for g := 0; g < r.NG; g++ {
+			w := r.W[g] * vol
+			var gphi, gmu, jv [3]float64
+			for d := 0; d < dim; d++ {
+				gphi[d] = r.GradAtGauss(g, d, h, phiC)
+				gmu[d] = r.GradAtGauss(g, d, h, muC)
+			}
+			phiG := r.AtGauss(g, phiC)
+			mobG := s.Par.Mobility(phiG)
+			rhoG := s.Par.Density(phiG)
+			pGrad := make([]float64, dim)
+			for d := 0; d < dim; d++ {
+				pGrad[d] = r.GradAtGauss(g, d, h, pC)
+				jv[d] = jfc * mobG * gmu[d]
+			}
+			for a := 0; a < npe; a++ {
+				na := r.N[g*npe+a]
+				for d := 0; d < dim; d++ {
+					f := 0.0
+					// Capillary: +(Cn/We) ∇N·(∇φ φ_,d) (integrated by parts).
+					for dd := 0; dd < dim; dd++ {
+						f += stc * r.DN[(g*npe+a)*dim+dd] / h * gphi[d] * gphi[dd]
+					}
+					// Pressure gradient (old pressure, 1/We scaling as in
+					// the non-dimensional momentum equation).
+					f -= na * pGrad[d] / s.Par.We
+					// Gravity.
+					if s.Par.Fr > 0 {
+						f += na * rhoG * s.Par.GravityDir[d] / s.Par.Fr
+					}
+					// Mass-flux convection (explicit): -N (J·∇) v_d / Pe.
+					var jdv float64
+					for dd := 0; dd < dim; dd++ {
+						comp2 := 0.0
+						for a2 := 0; a2 < npe; a2++ {
+							comp2 += r.DN[(g*npe+a2)*dim+dd] / h * velC[a2*dim+d]
+						}
+						jdv += jv[dd] * comp2
+					}
+					f -= na * jdv
+					fe[a*dim+d] += w * f
+				}
+			}
+		}
+	})
+	s.T.NS.Vector += time.Since(tVec)
+
+	mat.Finalize()
+	// No-slip walls.
+	for i := 0; i < m.NumOwned; i++ {
+		if m.OnBoundary(i) {
+			for d := 0; d < dim; d++ {
+				mat.ZeroRow(i*dim+d, 1)
+				rhs[i*dim+d] = 0
+			}
+		}
+	}
+	tSolve := time.Now()
+	ksp := &la.KSP{Op: mat, PC: la.NewPCBJacobiILU0(mat), Red: m,
+		Type: la.BiCGS, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
+	res := ksp.Solve(rhs, s.Vel)
+	s.T.NS.Solve += time.Since(tSolve)
+	s.T.NS.Iterations += res.Iterations
+	m.GhostRead(s.Vel, dim)
+	s.T.NS.Total += time.Since(t0)
+}

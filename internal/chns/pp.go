@@ -1,0 +1,97 @@
+package chns
+
+import (
+	"time"
+
+	"proteus/internal/fem"
+	"proteus/internal/la"
+)
+
+// StepPP solves the variable-density pressure Poisson equation of the
+// projection step (Table II: ibcgs + bjacobi):
+//
+//	∇·( (1/ρ) ∇ψ ) = (1/dt) ∇·v*
+//
+// for the pressure increment ψ, with pure Neumann boundaries; the
+// nullspace is fixed by pinning the first global pressure unknown. The
+// weak form is K_{1/ρ} ψ = -(1/dt) ∫ N ∇·v*.
+func (s *Solver) StepPP() []float64 {
+	t0 := time.Now()
+	m := s.M
+	dim := m.Dim
+	r := s.asmS.Ref
+	npe := r.NPE
+	m.GhostRead(s.PhiMu, 2)
+	m.GhostRead(s.Vel, dim)
+
+	pm := make([]float64, npe*2)
+	invRho := make([]float64, npe)
+	velC := make([]float64, npe*dim)
+
+	tMat := time.Now()
+	mat := fem.NewMatrix(m, 1, s.Opt.Layout)
+	buildCoef := func(e int) {
+		m.GatherElem(e, s.PhiMu, 2, pm)
+		for a := 0; a < npe; a++ {
+			invRho[a] = 1 / s.Par.Density(pm[a*2])
+		}
+	}
+	if s.Opt.Layout == fem.LayoutZipped {
+		s.asmS.AssembleMatrixZipped(mat, func(e int, h float64, blocks [][]float64) {
+			buildCoef(e)
+			w := s.asmS.Work()
+			cg := make([]float64, r.NG)
+			r.CoefAtGauss(invRho, cg)
+			r.StiffGemm(w, h, 1, cg, blocks[0])
+		})
+	} else {
+		s.asmS.AssembleMatrix(mat, s.Opt.Layout, func(e int, h float64, ke []float64) {
+			buildCoef(e)
+			r.WeightedStiffness(h, invRho, 1, ke)
+		})
+	}
+	s.T.PP.Matrix += time.Since(tMat)
+
+	tVec := time.Now()
+	rhs := m.NewVec(1)
+	s.asmS.AssembleVector(rhs, func(e int, h float64, fe []float64) {
+		m.GatherElem(e, s.Vel, dim, velC)
+		vol := 1.0
+		for d := 0; d < dim; d++ {
+			vol *= h
+		}
+		comp := make([]float64, npe)
+		for g := 0; g < r.NG; g++ {
+			w := r.W[g] * vol
+			var div float64
+			for d := 0; d < dim; d++ {
+				for a := 0; a < npe; a++ {
+					comp[a] = velC[a*dim+d]
+				}
+				div += r.GradAtGauss(g, d, h, comp)
+			}
+			f := -div / s.Opt.Dt
+			for a := 0; a < npe; a++ {
+				fe[a] += w * f * r.N[g*npe+a]
+			}
+		}
+	})
+	s.T.PP.Vector += time.Since(tVec)
+
+	mat.Finalize()
+	// Pin the global first pressure unknown to fix the Neumann nullspace.
+	if m.GlobalStart == 0 && m.NumOwned > 0 {
+		mat.ZeroRow(0, 1)
+		rhs[0] = 0
+	}
+	psi := m.NewVec(1)
+	tSolve := time.Now()
+	ksp := &la.KSP{Op: mat, PC: la.NewPCBJacobiILU0(mat), Red: m,
+		Type: la.IBiCGS, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
+	res := ksp.Solve(rhs, psi)
+	s.T.PP.Solve += time.Since(tSolve)
+	s.T.PP.Iterations += res.Iterations
+	m.GhostRead(psi, 1)
+	s.T.PP.Total += time.Since(t0)
+	return psi
+}

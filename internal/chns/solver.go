@@ -1,0 +1,167 @@
+package chns
+
+import (
+	"time"
+
+	"proteus/internal/fem"
+	"proteus/internal/la"
+	"proteus/internal/mesh"
+)
+
+// StageTimes records per-stage wall-clock split into the Table I columns.
+type StageTimes struct {
+	Matrix, Vector, Solve, Total time.Duration
+	Iterations                   int
+}
+
+// Timers accumulates stage timings across steps (Fig. 7 / Table I).
+type Timers struct {
+	CH, NS, PP, VU, Remesh StageTimes
+}
+
+// Add accumulates o into t.
+func (t *StageTimes) Add(o StageTimes) {
+	t.Matrix += o.Matrix
+	t.Vector += o.Vector
+	t.Solve += o.Solve
+	t.Total += o.Total
+	t.Iterations += o.Iterations
+}
+
+// Options configures the solver implementation choices being benchmarked.
+type Options struct {
+	// Layout selects the assembly path (Table I): LayoutAIJ (baseline),
+	// LayoutBAIJ (stage 1) or LayoutZipped (stage 2).
+	Layout fem.Layout
+	// SplitVU solves the velocity update as DIM single-DOF systems
+	// reusing one assembled mass matrix (stage 1+) instead of a single
+	// DIM-DOF block system (baseline).
+	SplitVU bool
+	// Theta is the time-integration weight (0.5 = Crank-Nicolson).
+	Theta float64
+	// Dt is the time step.
+	Dt float64
+	// LinTol is the linear solver tolerance (paper: 1e-8).
+	LinTol float64
+	// NonlinTol is the Newton tolerance (paper: 1e-10).
+	NonlinTol float64
+}
+
+// DefaultOptions mirrors the paper's production configuration (stage 2).
+func DefaultOptions(dt float64) Options {
+	return Options{Layout: fem.LayoutZipped, SplitVU: true, Theta: 0.5,
+		Dt: dt, LinTol: 1e-8, NonlinTol: 1e-10}
+}
+
+// Solver advances the CHNS system on one (fixed) mesh. Remeshing swaps in
+// a new Solver via core.Simulation; fields transfer across.
+type Solver struct {
+	M   *mesh.Mesh
+	Par Params
+	Opt Options
+
+	// State: PhiMu is a 2-DOF vector (φ, μ per node); Vel is DIM-DOF;
+	// P is the pressure.
+	PhiMu []float64
+	Vel   []float64
+	P     []float64
+	// ElemCn is the per-element Cahn number ("local Cahn"); initialized
+	// to Par.Cn everywhere.
+	ElemCn []float64
+
+	T      Timers
+	asmCH  *fem.Assembler
+	asmVel *fem.Assembler
+	asmS   *fem.Assembler // scalar
+
+	// Cached VU mass matrix (reused while the mesh is unchanged).
+	vuMass   *la.BSRMat
+	vuMassPC la.PC
+}
+
+// NewSolver allocates state on the mesh.
+func NewSolver(m *mesh.Mesh, par Params, opt Options) *Solver {
+	s := &Solver{M: m, Par: par, Opt: opt}
+	s.PhiMu = m.NewVec(2)
+	s.Vel = m.NewVec(m.Dim)
+	s.P = m.NewVec(1)
+	s.ElemCn = make([]float64, m.NumElems())
+	for i := range s.ElemCn {
+		s.ElemCn[i] = par.Cn
+	}
+	s.asmCH = fem.NewAssembler(m, 2)
+	s.asmVel = fem.NewAssembler(m, m.Dim)
+	s.asmS = fem.NewAssembler(m, 1)
+	return s
+}
+
+// SetPhi initializes φ from a point function and sets μ consistently to 0.
+func (s *Solver) SetPhi(f func(x, y, z float64) float64) {
+	for i := 0; i < s.M.NumLocal; i++ {
+		x, y, z := s.M.NodeCoord(i)
+		s.PhiMu[i*2] = f(x, y, z)
+		s.PhiMu[i*2+1] = 0
+	}
+}
+
+// SetVelocity initializes the velocity from a point function.
+func (s *Solver) SetVelocity(f func(x, y, z float64) (vx, vy, vz float64)) {
+	d := s.M.Dim
+	for i := 0; i < s.M.NumLocal; i++ {
+		x, y, z := s.M.NodeCoord(i)
+		vx, vy, vz := f(x, y, z)
+		s.Vel[i*d] = vx
+		s.Vel[i*d+1] = vy
+		if d == 3 {
+			s.Vel[i*d+2] = vz
+		}
+	}
+}
+
+// Phi returns φ at local node i.
+func (s *Solver) Phi(i int) float64 { return s.PhiMu[2*i] }
+
+// PhiMass returns the global integral of φ (a conserved quantity of the
+// CH equation with no-flux boundaries), evaluated with the lumped mass.
+func (s *Solver) PhiMass() float64 {
+	lump := s.lumpedMass()
+	var sum float64
+	for i := 0; i < s.M.NumOwned; i++ {
+		sum += lump[i] * s.PhiMu[2*i]
+	}
+	return s.M.GlobalSum(sum)
+}
+
+// lumpedMass returns the nodal lumped mass vector (owned+ghost).
+func (s *Solver) lumpedMass() []float64 {
+	v := s.M.NewVec(1)
+	s.asmS.AssembleVector(v, func(e int, h float64, fe []float64) {
+		ones := make([]float64, s.asmS.Ref.NPE)
+		for i := range ones {
+			ones[i] = 1
+		}
+		s.asmS.Ref.LoadVector(h, ones, 1, fe)
+	})
+	return v
+}
+
+// Step advances one full time block: CH, NS, PP, VU (Sec. II-A).
+func (s *Solver) Step() {
+	s.StepCH(nil)
+	s.StepNS()
+	psi := s.StepPP()
+	s.StepVU(psi)
+}
+
+// StepCHWithVelocity advances only the Cahn–Hilliard block using a
+// prescribed analytic velocity (the swirling-flow validation mode of
+// Fig. 5). The velocity field is sampled at nodes each call.
+func (s *Solver) StepCHWithVelocity(f func(x, y, z float64) (vx, vy, vz float64)) {
+	s.SetVelocity(f)
+	s.StepCH(nil)
+}
+
+func timed(d *time.Duration) func() {
+	t0 := time.Now()
+	return func() { *d += time.Since(t0) }
+}

@@ -1,0 +1,466 @@
+// Package core is the public face of the framework: it orchestrates the
+// full adaptive CHNS pipeline of Saurabh et al. (IPDPS 2023) — solve a
+// time block (CH, NS, PP, VU), identify under-resolved features with the
+// erosion/dilation detector, remesh by arbitrarily many levels in one
+// pass (refine + consensus coarsening + 2:1 balance + SFC repartition),
+// and transfer all fields to the new grid — while accounting wall-clock
+// per stage for the Fig. 7 and Table I experiments.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"proteus/internal/chns"
+	"proteus/internal/detect"
+	"proteus/internal/mesh"
+	"proteus/internal/octree"
+	"proteus/internal/par"
+	"proteus/internal/sfc"
+	"proteus/internal/transfer"
+)
+
+// Config selects the physics, the refinement policy and the local-Cahn
+// detection parameters of a simulation.
+type Config struct {
+	Dim    int
+	Params chns.Params
+	Opt    chns.Options
+
+	// Refinement policy (octree levels).
+	BulkLevel      int // background resolution away from the interface
+	InterfaceLevel int // resolution of the |φ| < Delta band
+	FineLevel      int // resolution of detected features (local Cahn)
+
+	// LocalCahn enables the detection pipeline; FineCn is the reduced
+	// Cahn number Cn2 applied in detected regions (default Cn/2.5).
+	LocalCahn bool
+	FineCn    float64
+
+	// Detection knobs (Algorithm 1); zero values get sensible defaults.
+	Delta                   float64 // threshold δ (default -0.8)
+	ErodeSteps, DilateSteps int
+	CleanSteps, PadSteps    int
+
+	// RemeshEvery triggers adaptation every n steps (default 1).
+	RemeshEvery int
+
+	// PrescribedVel, when non-nil, runs only the CH block with this
+	// analytic velocity (the Fig. 5 swirling-flow validation mode).
+	PrescribedVel func(x, y, z, t float64) (vx, vy, vz float64)
+}
+
+func (c *Config) defaults() {
+	if c.Delta == 0 {
+		c.Delta = -0.8
+	}
+	if c.ErodeSteps == 0 {
+		c.ErodeSteps = 2
+	}
+	if c.DilateSteps == 0 {
+		c.DilateSteps = c.ErodeSteps + 2
+	}
+	if c.RemeshEvery == 0 {
+		c.RemeshEvery = 1
+	}
+	if c.FineCn == 0 {
+		c.FineCn = c.Params.Cn / 2.5
+	}
+	if c.FineLevel == 0 {
+		c.FineLevel = c.InterfaceLevel
+	}
+}
+
+// Simulation couples a mesh, a CHNS solver and the adaptivity loop.
+type Simulation struct {
+	Comm   *par.Comm
+	Cfg    Config
+	Mesh   *mesh.Mesh
+	Solver *chns.Solver
+
+	StepIndex int
+	Time      float64
+
+	// Accumulated timers (the solver's are folded in across remeshes).
+	T chns.Timers
+	// RemeshCount counts adaptation rounds that changed the mesh.
+	RemeshCount int
+}
+
+// New builds the initial mesh from the phase-field initializer: the
+// |φ0| < 0.95 band is refined to InterfaceLevel, the rest to BulkLevel.
+// Collective.
+func New(c *par.Comm, cfg Config, phi0 func(x, y, z float64) float64) *Simulation {
+	cfg.defaults()
+	tr := octree.Build(cfg.Dim, func(o sfc.Octant) bool {
+		if int(o.Level) < cfg.BulkLevel {
+			return true
+		}
+		if int(o.Level) >= cfg.InterfaceLevel {
+			return false
+		}
+		return octantCrossesInterface(o, cfg.Dim, phi0)
+	}, cfg.InterfaceLevel, nil).Balance21(nil)
+	local := partitionSlice(tr.Leaves, c.Rank(), c.Size())
+	local = octree.PartitionWeighted(c, local, nil)
+	m := mesh.New(c, cfg.Dim, local)
+	s := &Simulation{Comm: c, Cfg: cfg, Mesh: m}
+	s.Solver = chns.NewSolver(m, cfg.Params, cfg.Opt)
+	s.Solver.SetPhi(phi0)
+	s.Solver.InitMuFromPhi()
+	return s
+}
+
+// octantCrossesInterface samples φ0 at the corners and centre of o.
+func octantCrossesInterface(o sfc.Octant, dim int, phi0 func(x, y, z float64) float64) bool {
+	s := float64(o.Side()) / float64(sfc.MaxCoord)
+	ox := float64(o.X) / float64(sfc.MaxCoord)
+	oy := float64(o.Y) / float64(sfc.MaxCoord)
+	oz := float64(o.Z) / float64(sfc.MaxCoord)
+	hasPos, hasNeg := false, false
+	probe := func(x, y, z float64) {
+		v := phi0(x, y, z)
+		if v > -0.95 {
+			hasPos = true
+		}
+		if v < 0.95 {
+			hasNeg = true
+		}
+	}
+	n := 1 << dim
+	for cx := 0; cx <= n; cx++ {
+		fx := float64(cx&1) * s
+		fy := float64((cx>>1)&1) * s
+		fz := float64((cx>>2)&1) * s
+		if cx == n {
+			fx, fy, fz = s/2, s/2, s/2
+		}
+		if dim == 2 {
+			fz = 0
+		}
+		probe(ox+fx, oy+fy, oz+fz)
+	}
+	return hasPos && hasNeg
+}
+
+func partitionSlice(leaves []sfc.Octant, rank, p int) []sfc.Octant {
+	n := len(leaves)
+	lo, hi := rank*n/p, (rank+1)*n/p
+	out := make([]sfc.Octant, hi-lo)
+	copy(out, leaves[lo:hi])
+	return out
+}
+
+// Step advances one time block, remeshing first when due. Collective.
+func (s *Simulation) Step() {
+	if s.StepIndex%s.Cfg.RemeshEvery == 0 && s.StepIndex > 0 {
+		s.Adapt()
+	}
+	if s.Cfg.PrescribedVel != nil {
+		t := s.Time
+		s.Solver.StepCHWithVelocity(func(x, y, z float64) (float64, float64, float64) {
+			return s.Cfg.PrescribedVel(x, y, z, t)
+		})
+	} else {
+		s.Solver.Step()
+	}
+	s.StepIndex++
+	s.Time += s.Cfg.Opt.Dt
+}
+
+// Run advances n steps.
+func (s *Simulation) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// Adapt runs detection and the multi-level remesh pipeline, then
+// transfers every field to the new mesh. Collective.
+func (s *Simulation) Adapt() {
+	t0 := time.Now()
+	cfg := &s.Cfg
+	m := s.Mesh
+	sol := s.Solver
+
+	// Phase field as a scalar vector for detection.
+	phi := m.NewVec(1)
+	for i := 0; i < m.NumLocal; i++ {
+		phi[i] = sol.PhiMu[2*i]
+	}
+
+	var reduce []bool
+	if cfg.LocalCahn {
+		res := detect.Identify(m, phi, detect.Config{
+			Delta:      cfg.Delta,
+			ErodeSteps: cfg.ErodeSteps, DilateSteps: cfg.DilateSteps,
+			CleanSteps: cfg.CleanSteps, PadSteps: cfg.PadSteps,
+			BaseLevel: cfg.InterfaceLevel,
+		})
+		reduce = res.ReduceCahn
+	} else {
+		reduce = make([]bool, m.NumElems())
+	}
+
+	// Desired level per current element.
+	bw := detect.Threshold(m, phi, cfg.Delta)
+	buf := make([]float64, m.CornersPerElem())
+	targets := make([]int, m.NumElems())
+	cnMark := make([]float64, m.NumElems())
+	for e := 0; e < m.NumElems(); e++ {
+		switch {
+		case reduce[e]:
+			targets[e] = cfg.FineLevel
+			cnMark[e] = 1
+		case detect.HasInterface(m, bw, e, buf) || nearInterface(m, phi, e, buf):
+			targets[e] = cfg.InterfaceLevel
+		default:
+			targets[e] = cfg.BulkLevel
+		}
+	}
+
+	// Multi-level refinement (local, order-preserving), with target
+	// propagation to descendants.
+	var refined []sfc.Octant
+	var refinedTarget []int
+	var refinedCn []float64
+	var emit func(o sfc.Octant, target int, cn float64)
+	emit = func(o sfc.Octant, target int, cn float64) {
+		if int(o.Level) >= target {
+			refined = append(refined, o)
+			refinedTarget = append(refinedTarget, target)
+			refinedCn = append(refinedCn, cn)
+			return
+		}
+		for ch := 0; ch < o.NumChildren(); ch++ {
+			emit(o.Child(ch), target, cn)
+		}
+	}
+	for e, o := range m.Elems {
+		tgt := targets[e]
+		if tgt < int(o.Level) {
+			tgt = targets[e] // coarsening handled below; keep leaf
+			refined = append(refined, o)
+			refinedTarget = append(refinedTarget, targets[e])
+			refinedCn = append(refinedCn, cnMark[e])
+			continue
+		}
+		emit(o, tgt, cnMark[e])
+	}
+
+	// Multi-level consensus coarsening across ranks.
+	coarse := octree.ParCoarsen(s.Comm, cfg.Dim, refined, refinedTarget)
+
+	// 2:1 balance and repartition.
+	balanced := octree.Balance21Distributed(s.Comm, cfg.Dim, coarse, nil)
+	balanced = octree.PartitionWeighted(s.Comm, balanced, nil)
+
+	changed := meshChanged(s.Comm, m.Elems, balanced)
+	if !changed {
+		s.T.Remesh.Total += time.Since(t0)
+		return
+	}
+
+	newM := mesh.New(s.Comm, cfg.Dim, balanced)
+	// Transfer fields.
+	newPhiMu := transfer.Nodal(m, sol.PhiMu, newM, 2)
+	newVel := transfer.Nodal(m, sol.Vel, newM, cfg.Dim)
+	newP := transfer.Nodal(m, sol.P, newM, 1)
+	newCnMark := transfer.CellCentered(s.Comm, cfg.Dim, refined, refinedCn, newM.Elems)
+
+	// Swap in a fresh solver bound to the new mesh, folding timers.
+	s.foldTimers()
+	ns := chns.NewSolver(newM, cfg.Params, cfg.Opt)
+	copy(ns.PhiMu, newPhiMu)
+	copy(ns.Vel, newVel)
+	copy(ns.P, newP)
+	for e := range ns.ElemCn {
+		if cfg.LocalCahn && newCnMark[e] > 0.25 {
+			ns.ElemCn[e] = cfg.FineCn
+		} else {
+			ns.ElemCn[e] = cfg.Params.Cn
+		}
+	}
+	s.Mesh = newM
+	s.Solver = ns
+	s.RemeshCount++
+	s.T.Remesh.Total += time.Since(t0)
+}
+
+// nearInterface guards against losing the interface between detection
+// rounds: an element whose φ values are inside (-0.98, 0.98) anywhere is
+// treated as interfacial.
+func nearInterface(m *mesh.Mesh, phi []float64, e int, buf []float64) bool {
+	m.GatherElem(e, phi, 1, buf)
+	for _, v := range buf {
+		if math.Abs(v) < 0.98 {
+			return true
+		}
+	}
+	return false
+}
+
+func meshChanged(c *par.Comm, oldE, newE []sfc.Octant) bool {
+	same := len(oldE) == len(newE)
+	if same {
+		for i := range oldE {
+			if !oldE[i].EqualKey(newE[i]) {
+				same = false
+				break
+			}
+		}
+	}
+	return par.Allreduce(c, !same, func(a, b bool) bool { return a || b })
+}
+
+// foldTimers accumulates the current solver's stage timers into the
+// simulation-level totals.
+func (s *Simulation) foldTimers() {
+	s.T.CH.Add(s.Solver.T.CH)
+	s.T.NS.Add(s.Solver.T.NS)
+	s.T.PP.Add(s.Solver.T.PP)
+	s.T.VU.Add(s.Solver.T.VU)
+}
+
+// Timers returns the accumulated stage timers including the live solver.
+func (s *Simulation) Timers() chns.Timers {
+	t := s.T
+	t.CH.Add(s.Solver.T.CH)
+	t.NS.Add(s.Solver.T.NS)
+	t.PP.Add(s.Solver.T.PP)
+	t.VU.Add(s.Solver.T.VU)
+	return t
+}
+
+// GlobalElems returns the global element count.
+func (s *Simulation) GlobalElems() int64 {
+	return int64(s.Mesh.GlobalSum(float64(s.Mesh.NumElems())))
+}
+
+// LevelHistogram returns the global fraction of elements per level
+// (Fig. 9).
+func (s *Simulation) LevelHistogram() []float64 {
+	local := make([]float64, sfc.MaxLevel+1)
+	for _, l := range s.Mesh.ElemLevel {
+		local[l]++
+	}
+	glob := par.AllreduceSlice(s.Comm, local, func(a, b float64) float64 { return a + b })
+	var tot float64
+	for _, v := range glob {
+		tot += v
+	}
+	max := 0
+	for l, v := range glob {
+		if v > 0 {
+			max = l
+		}
+	}
+	out := make([]float64, max+1)
+	for l := range out {
+		out[l] = glob[l] / tot
+	}
+	return out
+}
+
+// CountDrops returns the number of connected components of the immersed
+// phase (elements whose centre value of φ is below cut), the Fig. 5
+// breakup metric. Components are counted on rank 0 from gathered element
+// data; intended for validation-scale meshes.
+func (s *Simulation) CountDrops(cut float64) int {
+	m := s.Mesh
+	phiC := make([]float64, m.CornersPerElem())
+	local := make([]dropCell, m.NumElems())
+	phi := m.NewVec(1)
+	for i := 0; i < m.NumLocal; i++ {
+		phi[i] = s.Solver.PhiMu[2*i]
+	}
+	m.GhostRead(phi, 1)
+	for e := 0; e < m.NumElems(); e++ {
+		m.GatherElem(e, phi, 1, phiC)
+		var sum float64
+		for _, v := range phiC {
+			sum += v
+		}
+		local[e] = dropCell{m.Elems[e], sum/float64(len(phiC)) < cut}
+	}
+	all := par.Allgatherv(s.Comm, local)
+	count := 0
+	if s.Comm.Rank() == 0 {
+		count = countComponents(s.Cfg.Dim, all)
+	}
+	return par.Bcast(s.Comm, 0, count)
+}
+
+// dropCell is one element's octant and immersion flag for drop counting.
+type dropCell struct {
+	Oct sfc.Octant
+	In  bool
+}
+
+// countComponents unions face/corner-adjacent immersed cells.
+func countComponents(dim int, cells []dropCell) int {
+	tr := &octree.Tree{Dim: dim}
+	octs := make([]sfc.Octant, len(cells))
+	in := make([]bool, len(cells))
+	for i, cl := range cells {
+		octs[i] = cl.Oct
+		in[i] = cl.In
+	}
+	tr.Leaves = octs
+	parent := make([]int, len(cells))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	var nbuf [26]sfc.Octant
+	for i, o := range octs {
+		if !in[i] {
+			continue
+		}
+		for _, n := range o.AllNeighbors(nbuf[:0]) {
+			lo, hi := tr.OverlapRange(n)
+			for j := lo; j < hi; j++ {
+				if in[j] {
+					union(i, j)
+				}
+			}
+		}
+	}
+	seen := map[int]bool{}
+	for i := range octs {
+		if in[i] {
+			seen[find(i)] = true
+		}
+	}
+	return len(seen)
+}
+
+// Describe prints a one-line mesh summary on rank 0.
+func (s *Simulation) Describe() string {
+	h := s.LevelHistogram()
+	min, max := -1, 0
+	for l, v := range h {
+		if v > 0 {
+			if min < 0 {
+				min = l
+			}
+			max = l
+		}
+	}
+	return fmt.Sprintf("step %d t=%.4f elems=%d levels=[%d,%d] dofs=%d",
+		s.StepIndex, s.Time, s.GlobalElems(), min, max, s.Mesh.NumGlobal)
+}

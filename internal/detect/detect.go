@@ -1,0 +1,223 @@
+// Package detect implements the "local Cahn" feature-identification
+// algorithms of Saurabh et al. (IPDPS 2023, Sec. II-B): small flow
+// features (droplets, filaments, thin sheets) whose length scale is
+// comparable to the diffuse-interface thickness are found by thresholding
+// the phase field to a binary ±1 marker and applying morphological
+// erosion followed by (more) dilation as element-wise MATVEC passes.
+// Features that disappear under erosion+dilation are exactly the
+// under-resolved ones; the Cahn number is reduced (and the mesh refined)
+// only there.
+//
+// The element-wise formulation works unchanged on adaptive octree meshes
+// with hanging nodes: interface elements are detected by the nodal sum
+// test |Σ φ_bw| ≠ n (Eq. 2), which interpolated hanging values trip
+// naturally, and a per-element counter delays erosion of coarse elements
+// by (bl - l) visits so that one nominal step advances the front one
+// finest-element width everywhere (Sec. II-B3).
+package detect
+
+import (
+	"math"
+
+	"proteus/internal/mesh"
+)
+
+// Stage selects the morphological operation of a pass.
+type Stage int
+
+// Erosion shrinks the +1 (immersed) region; Dilation expands it.
+const (
+	Erosion Stage = iota
+	Dilation
+)
+
+// Config parameterizes the local-Cahn identification (Algorithm 1).
+type Config struct {
+	// Delta is the threshold δ on φ: φ <= Delta is the immersed phase
+	// (+1), φ > Delta the bulk (-1). The paper uses ±0.8.
+	Delta float64
+	// ErodeSteps and DilateSteps are the counts for the main pass;
+	// DilateSteps is typically larger to compensate thresholding
+	// (Sec. II-B1, footnote: "more steps of dilation than erosion").
+	ErodeSteps, DilateSteps int
+	// CleanSteps and PadSteps drive Algorithm 4 on the elemental-Cn
+	// marker: CleanSteps of shrinking remove isolated small-Cn islands
+	// that hinder solver convergence; PadSteps of growing pad the
+	// surrounding region so detection need not run every time step.
+	CleanSteps, PadSteps int
+	// BaseLevel bl is the reference (typically finest interface) level
+	// used to equalize erosion speed across octree levels.
+	BaseLevel int
+}
+
+// Threshold converts the phase field φ into the binary marker φ_bwo of
+// Eq. (1): +1 where φ <= δ (immersed), -1 where φ > δ. Returns a new
+// nodal vector (owned+ghost layout; ghosts are refreshed).
+func Threshold(m *mesh.Mesh, phi []float64, delta float64) []float64 {
+	out := m.NewVec(1)
+	for i := 0; i < m.NumLocal; i++ {
+		if phi[i] <= delta {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	m.GhostRead(out, 1)
+	return out
+}
+
+// HasInterface reports the Eq. (2) test on the interpolated corner values
+// of element e: the element straddles the marker boundary iff the
+// absolute nodal sum differs from the corner count.
+func HasInterface(m *mesh.Mesh, vec []float64, e int, buf []float64) bool {
+	m.GatherElem(e, vec, 1, buf)
+	var s float64
+	for _, v := range buf {
+		s += v
+	}
+	n := float64(m.CornersPerElem())
+	return math.Abs(math.Abs(s)-n) > 1e-9
+}
+
+// ErodeDilate performs `steps` level-aware morphological passes over the
+// binary nodal vector (Algorithm 2), in place. Each pass is one MATVEC:
+// a ghost read, a sweep over local elements writing the stage value to
+// every node of interface elements, and a combining ghost write (min for
+// erosion, max for dilation). The per-element counter persists across
+// the passes of this call, so an element at level l is modified only on
+// every (bl-l+1)-th visit, matching the finest-level front speed.
+func ErodeDilate(m *mesh.Mesh, vec []float64, stage Stage, steps, baseLevel int) {
+	if steps <= 0 {
+		return
+	}
+	val := -1.0
+	op := mesh.MinOp
+	if stage == Dilation {
+		val = 1.0
+		op = mesh.MaxOp
+	}
+	counter := make([]int, m.NumElems())
+	buf := make([]float64, m.CornersPerElem())
+	tmp := m.NewVec(1)
+	for s := 0; s < steps; s++ {
+		m.GhostRead(vec, 1)
+		copy(tmp, vec)
+		for e := 0; e < m.NumElems(); e++ {
+			if !HasInterface(m, vec, e, buf) {
+				continue
+			}
+			wait := baseLevel - int(m.ElemLevel[e])
+			if wait < 0 {
+				wait = 0
+			}
+			if counter[e] < wait {
+				counter[e]++
+				continue
+			}
+			counter[e] = 0
+			m.ScatterSetElem(e, val, 1, tmp, op)
+		}
+		m.GhostWrite(tmp, 1, op, val*-1)
+		copy(vec, tmp)
+		m.GhostRead(vec, 1)
+	}
+}
+
+// ElementalCahn implements Algorithm 3: an element is marked for reduced
+// Cahn number iff it was fully immersed in the thresholded field (all
+// corners +1) and fully erased in the eroded+dilated field (all corners
+// -1) — i.e. it belonged to a feature too small to survive the
+// morphological round trip.
+func ElementalCahn(m *mesh.Mesh, bwo, dilated []float64) []bool {
+	out := make([]bool, m.NumElems())
+	n := float64(m.CornersPerElem())
+	bo := make([]float64, m.CornersPerElem())
+	bd := make([]float64, m.CornersPerElem())
+	for e := 0; e < m.NumElems(); e++ {
+		m.GatherElem(e, bwo, 1, bo)
+		m.GatherElem(e, dilated, 1, bd)
+		var so, sd float64
+		for i := range bo {
+			so += bo[i]
+			sd += bd[i]
+		}
+		out[e] = math.Abs(so-n) < 1e-9 && math.Abs(sd+n) < 1e-9
+	}
+	return out
+}
+
+// ExpandAndClean implements Algorithm 4 on the elemental-Cn marker: the
+// marker is transferred to a nodal ±1 field, shrunk by cleanSteps
+// (removing isolated small-Cn islands) and grown by padSteps (padding the
+// surroundings so the detection needn't run every step), then transferred
+// back: an element is marked iff any of its nodes carries the marker.
+//
+// Note: the paper's Algorithm 4 pseudocode carries an inverted sign
+// convention between its marking and final test; this implementation
+// follows the stated intent of the surrounding text.
+func ExpandAndClean(m *mesh.Mesh, marks []bool, cleanSteps, padSteps, baseLevel int) []bool {
+	nodal := m.NewVec(1)
+	for i := range nodal {
+		nodal[i] = -1
+	}
+	for e, mk := range marks {
+		if mk {
+			m.ScatterSetElem(e, 1, 1, nodal, mesh.MaxOp)
+		}
+	}
+	m.GhostWrite(nodal, 1, mesh.MaxOp, -1)
+	m.GhostRead(nodal, 1)
+	// Shrink the marked (+1) region to delete islands, then grow it to pad.
+	ErodeDilate(m, nodal, Erosion, cleanSteps, baseLevel)
+	ErodeDilate(m, nodal, Dilation, padSteps, baseLevel)
+	out := make([]bool, m.NumElems())
+	buf := make([]float64, m.CornersPerElem())
+	for e := range out {
+		m.GatherElem(e, nodal, 1, buf)
+		for _, v := range buf {
+			if v > 0 {
+				out[e] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Result reports the identification outcome.
+type Result struct {
+	// ReduceCahn marks local elements whose Cahn number must be reduced
+	// (and which therefore need refinement to the fine interface level).
+	ReduceCahn []bool
+	// Interface marks local elements straddling the thresholded
+	// interface |φ| < δ.
+	Interface []bool
+	// NumReduced counts globally how many elements were marked.
+	NumReduced int64
+}
+
+// Identify runs the full local-Cahn pipeline (Algorithm 1): threshold,
+// erode, dilate, elemental marking, island removal and padding.
+// Collective.
+func Identify(m *mesh.Mesh, phi []float64, cfg Config) Result {
+	bwo := Threshold(m, phi, cfg.Delta)
+	work := m.NewVec(1)
+	copy(work, bwo)
+	ErodeDilate(m, work, Erosion, cfg.ErodeSteps, cfg.BaseLevel)
+	ErodeDilate(m, work, Dilation, cfg.DilateSteps, cfg.BaseLevel)
+	marks := ElementalCahn(m, bwo, work)
+	if cfg.CleanSteps > 0 || cfg.PadSteps > 0 {
+		marks = ExpandAndClean(m, marks, cfg.CleanSteps, cfg.PadSteps, cfg.BaseLevel)
+	}
+	res := Result{ReduceCahn: marks, Interface: make([]bool, m.NumElems())}
+	buf := make([]float64, m.CornersPerElem())
+	var count int64
+	for e := range marks {
+		if marks[e] {
+			count++
+		}
+		res.Interface[e] = HasInterface(m, bwo, e, buf)
+	}
+	res.NumReduced = int64(m.GlobalSum(float64(count)))
+	return res
+}

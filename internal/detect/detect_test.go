@@ -1,0 +1,330 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"proteus/internal/mesh"
+	"proteus/internal/octree"
+	"proteus/internal/par"
+	"proteus/internal/sfc"
+)
+
+// phiField fills a phase field from an analytic signed function: f < 0
+// inside the immersed phase (φ = -1 bulk convention: immersed φ <= δ).
+// Here we produce φ = +1 in bulk, φ = -1 inside features, with a linear
+// ramp of width w.
+func phiField(m *mesh.Mesh, f func(x, y, z float64) float64) []float64 {
+	phi := m.NewVec(1)
+	for i := 0; i < m.NumLocal; i++ {
+		x, y, z := m.NodeCoord(i)
+		d := f(x, y, z)
+		switch {
+		case d < 0:
+			phi[i] = -1
+		default:
+			phi[i] = 1
+		}
+	}
+	return phi
+}
+
+// circle returns a signed distance to a circle (negative inside).
+func circle(cx, cy, r float64) func(x, y, z float64) float64 {
+	return func(x, y, z float64) float64 {
+		return math.Hypot(x-cx, y-cy) - r
+	}
+}
+
+// buildUniformMesh makes a uniform 2D mesh at the given level.
+func buildUniformMesh(c *par.Comm, level int) *mesh.Mesh {
+	tr := octree.Uniform(2, level)
+	p := c.Size()
+	n := tr.Len()
+	lo, hi := c.Rank()*n/p, (c.Rank()+1)*n/p
+	local := make([]sfc.Octant, hi-lo)
+	copy(local, tr.Leaves[lo:hi])
+	return mesh.New(c, 2, local)
+}
+
+func TestThresholdBinary(t *testing.T) {
+	par.Run(2, func(c *par.Comm) {
+		m := buildUniformMesh(c, 4)
+		phi := phiField(m, circle(0.5, 0.5, 0.2))
+		bw := Threshold(m, phi, -0.8)
+		for i := 0; i < m.NumLocal; i++ {
+			if bw[i] != 1 && bw[i] != -1 {
+				panic("threshold must be binary")
+			}
+			if (phi[i] <= -0.8) != (bw[i] == 1) {
+				panic("threshold sign wrong")
+			}
+		}
+	})
+}
+
+// countImmersed counts owned nodes with marker +1.
+func countImmersed(m *mesh.Mesh, v []float64) float64 {
+	var s float64
+	for i := 0; i < m.NumOwned; i++ {
+		if v[i] > 0 {
+			s++
+		}
+	}
+	return m.GlobalSum(s)
+}
+
+func TestErosionShrinksDilationGrows(t *testing.T) {
+	for _, p := range []int{1, 3} {
+		par.Run(p, func(c *par.Comm) {
+			m := buildUniformMesh(c, 5)
+			phi := phiField(m, circle(0.5, 0.5, 0.25))
+			bw := Threshold(m, phi, -0.8)
+			n0 := countImmersed(m, bw)
+			ErodeDilate(m, bw, Erosion, 2, 5)
+			n1 := countImmersed(m, bw)
+			if n1 >= n0 {
+				panic(fmt.Sprintf("erosion did not shrink: %v -> %v", n0, n1))
+			}
+			ErodeDilate(m, bw, Dilation, 2, 5)
+			n2 := countImmersed(m, bw)
+			if n2 <= n1 {
+				panic(fmt.Sprintf("dilation did not grow: %v -> %v", n1, n2))
+			}
+		})
+	}
+}
+
+func TestSmallDropIdentifiedLargeSurvives(t *testing.T) {
+	// Fig. 2a: a drop of ~2 cells disappears under 2 erosions; a large
+	// drop survives. Only the small drop's elements are marked.
+	for _, p := range []int{1, 4} {
+		par.Run(p, func(c *par.Comm) {
+			m := buildUniformMesh(c, 5) // h = 1/32
+			small := circle(0.25, 0.25, 0.06)
+			large := circle(0.7, 0.7, 0.22)
+			phi := phiField(m, func(x, y, z float64) float64 {
+				return math.Min(small(x, y, z), large(x, y, z))
+			})
+			res := Identify(m, phi, Config{
+				Delta: -0.8, ErodeSteps: 3, DilateSteps: 5, BaseLevel: 5,
+			})
+			if res.NumReduced == 0 {
+				panic("small drop not identified")
+			}
+			// Marked elements must cluster near the small drop, none on
+			// the large drop's interior far from its interface.
+			for e, mk := range res.ReduceCahn {
+				if !mk {
+					continue
+				}
+				hx := m.ElemSize(e)
+				ox, oy, _ := m.ElemOrigin(e)
+				cx, cy := ox+hx/2, oy+hx/2
+				dSmall := math.Hypot(cx-0.25, cy-0.25)
+				if dSmall > 0.25 {
+					panic(fmt.Sprintf("p=%d: marked element at (%.3f,%.3f) far from small drop", p, cx, cy))
+				}
+			}
+		})
+	}
+}
+
+func TestFilamentIdentified(t *testing.T) {
+	// Fig. 2b: a thin filament connecting two large blobs is identified,
+	// while the blobs survive.
+	par.Run(2, func(c *par.Comm) {
+		m := buildUniformMesh(c, 6) // h = 1/64
+		blobA := circle(0.2, 0.5, 0.15)
+		blobB := circle(0.8, 0.5, 0.15)
+		fil := func(x, y, z float64) float64 {
+			// Thin horizontal band between the blobs.
+			if x < 0.2 || x > 0.8 {
+				return 1
+			}
+			return math.Abs(y-0.5) - 0.02
+		}
+		phi := phiField(m, func(x, y, z float64) float64 {
+			return math.Min(fil(x, y, z), math.Min(blobA(x, y, z), blobB(x, y, z)))
+		})
+		res := Identify(m, phi, Config{
+			Delta: -0.8, ErodeSteps: 3, DilateSteps: 5, BaseLevel: 6,
+		})
+		if res.NumReduced == 0 {
+			panic("filament not identified")
+		}
+		foundMid := false
+		for e, mk := range res.ReduceCahn {
+			if !mk {
+				continue
+			}
+			hx := m.ElemSize(e)
+			ox, oy, _ := m.ElemOrigin(e)
+			cx, cy := ox+hx/2, oy+hx/2
+			if math.Abs(cy-0.5) > 0.2 {
+				panic(fmt.Sprintf("marked element off the filament axis: (%.3f,%.3f)", cx, cy))
+			}
+			if cx > 0.45 && cx < 0.55 {
+				foundMid = true
+			}
+		}
+		if !foundMid {
+			panic("filament midsection not marked")
+		}
+	})
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	// The identification must be rank-count independent.
+	type ekey struct{ X, Y uint32 }
+	run := func(p int) map[ekey]bool {
+		out := map[ekey]bool{}
+		par.Run(p, func(c *par.Comm) {
+			m := buildUniformMesh(c, 5)
+			phi := phiField(m, circle(0.3, 0.6, 0.05))
+			res := Identify(m, phi, Config{
+				Delta: -0.8, ErodeSteps: 2, DilateSteps: 4,
+				CleanSteps: 1, PadSteps: 2, BaseLevel: 5,
+			})
+			type pair struct {
+				K  ekey
+				Mk bool
+			}
+			var local []pair
+			for e := range res.ReduceCahn {
+				o := m.Elems[e]
+				local = append(local, pair{ekey{o.X, o.Y}, res.ReduceCahn[e]})
+			}
+			all := par.Allgatherv(c, local)
+			if c.Rank() == 0 {
+				for _, pr := range all {
+					out[pr.K] = pr.Mk
+				}
+			}
+		})
+		return out
+	}
+	serial := run(1)
+	for _, p := range []int{2, 4} {
+		parallel := run(p)
+		if len(parallel) != len(serial) {
+			t.Fatalf("p=%d: element count mismatch", p)
+		}
+		for k, v := range serial {
+			if parallel[k] != v {
+				t.Fatalf("p=%d: element (%d,%d): serial %v parallel %v", p, k.X, k.Y, v, parallel[k])
+			}
+		}
+	}
+}
+
+func TestLevelAwareCounterDelaysCoarseElements(t *testing.T) {
+	// On an adaptive mesh, one erosion step must advance the front one
+	// *finest*-element width: a coarse element (bl-l = 1) is only eroded
+	// on its second visit.
+	par.Run(1, func(c *par.Comm) {
+		// Left half at level 4, right half at level 3.
+		tr := octree.Build(2, func(o sfc.Octant) bool {
+			if int(o.Level) < 3 {
+				return true
+			}
+			return int(o.Level) < 4 && o.X < sfc.MaxCoord/2
+		}, 4, nil).Balance21(nil)
+		m := mesh.New(c, 2, tr.Leaves)
+		// Everything immersed: erode from the domain boundary inward.
+		phi := m.NewVec(1)
+		for i := range phi {
+			phi[i] = -1 // immersed everywhere
+		}
+		bw := Threshold(m, phi, -0.8)
+		// With an all-+1 field there is no interface, so nothing erodes.
+		before := countImmersed(m, bw)
+		ErodeDilate(m, bw, Erosion, 1, 4)
+		after := countImmersed(m, bw)
+		if before != after {
+			panic("erosion must not act without an interface")
+		}
+		// Half-plane field with the immersed phase on the LEFT (fine) side:
+		// the interface elements are the coarse level-3 cells just right
+		// of x=0.5 (their left-edge nodes are +1). With bl=4 they must
+		// wait one visit, so step 1 changes nothing and step 2 erodes.
+		for i := 0; i < m.NumLocal; i++ {
+			x, _, _ := m.NodeCoord(i)
+			if x <= 0.5 {
+				phi[i] = -1
+			} else {
+				phi[i] = 1
+			}
+		}
+		bw = Threshold(m, phi, -0.8)
+		n0 := countImmersed(m, bw)
+		ErodeDilate(m, bw, Erosion, 1, 4)
+		n1 := countImmersed(m, bw)
+		if n1 != n0 {
+			panic(fmt.Sprintf("coarse interface cells must wait one visit: %v -> %v", n0, n1))
+		}
+		ErodeDilate(m, bw, Erosion, 2, 4)
+		n2 := countImmersed(m, bw)
+		if n2 >= n0 {
+			panic("second visit must erode coarse cells")
+		}
+		// Mirror field: immersed on the RIGHT (coarse) side; interface
+		// elements are the fine level-4 cells left of x=0.5, which erode
+		// on the very first step.
+		for i := 0; i < m.NumLocal; i++ {
+			x, _, _ := m.NodeCoord(i)
+			if x >= 0.5 {
+				phi[i] = -1
+			} else {
+				phi[i] = 1
+			}
+		}
+		bw = Threshold(m, phi, -0.8)
+		f0 := countImmersed(m, bw)
+		ErodeDilate(m, bw, Erosion, 1, 4)
+		f1 := countImmersed(m, bw)
+		if f1 >= f0 {
+			panic("fine interface cells must erode on the first step")
+		}
+	})
+}
+
+func TestExpandAndCleanRemovesIsland(t *testing.T) {
+	par.Run(1, func(c *par.Comm) {
+		m := buildUniformMesh(c, 4)
+		marks := make([]bool, m.NumElems())
+		// A single isolated marked element: cleaning with 1 step must
+		// remove it.
+		marks[m.NumElems()/2] = true
+		cleaned := ExpandAndClean(m, marks, 1, 0, 4)
+		for e, mk := range cleaned {
+			if mk {
+				t.Fatalf("island at elem %d survived cleaning", e)
+			}
+		}
+		// A 4x4 block of marked elements must survive 1 cleaning step and
+		// grow under padding.
+		for e := range marks {
+			marks[e] = false
+		}
+		n := 0
+		for e := 0; e < m.NumElems(); e++ {
+			ox, oy, _ := m.ElemOrigin(e)
+			if ox >= 0.25 && ox < 0.5 && oy >= 0.25 && oy < 0.5 {
+				marks[e] = true
+				n++
+			}
+		}
+		padded := ExpandAndClean(m, marks, 1, 3, 4)
+		count := 0
+		for _, mk := range padded {
+			if mk {
+				count++
+			}
+		}
+		if count <= n {
+			panic(fmt.Sprintf("padding did not grow the region: %d -> %d", n, count))
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package dsort
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"proteus/internal/par"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+// runSortCheck sorts random data over p ranks and verifies the global
+// result equals a serial sort of the union.
+func runSortCheck(t *testing.T, p int, perRank int, opt Options) {
+	t.Helper()
+	var gathered []int
+	var want []int
+	par.Run(p, func(c *par.Comm) {
+		rng := rand.New(rand.NewSource(int64(c.Rank()*31 + 7)))
+		local := make([]int, perRank+rng.Intn(perRank+1))
+		for i := range local {
+			local[i] = rng.Intn(10 * p * perRank)
+		}
+		global := par.Allgatherv(c, local)
+		sorted := Sort(c, append([]int(nil), local...), intLess, opt)
+		if !sort.IntsAreSorted(sorted) {
+			panic(fmt.Sprintf("rank %d: local result not sorted", c.Rank()))
+		}
+		// Check rank boundaries: my max <= next rank's min.
+		type edge struct {
+			Min, Max int
+			N        int
+		}
+		e := edge{N: len(sorted)}
+		if len(sorted) > 0 {
+			e.Min, e.Max = sorted[0], sorted[len(sorted)-1]
+		}
+		edges := par.Allgather(c, e)
+		prevMax := -1 << 62
+		for _, ed := range edges {
+			if ed.N == 0 {
+				continue
+			}
+			if ed.Min < prevMax {
+				panic("rank ranges out of order")
+			}
+			prevMax = ed.Max
+		}
+		all := par.Allgatherv(c, sorted)
+		if c.Rank() == 0 {
+			gathered = all
+			want = global
+		}
+	})
+	sort.Ints(want)
+	if len(gathered) != len(want) {
+		t.Fatalf("p=%d: got %d records want %d", p, len(gathered), len(want))
+	}
+	for i := range want {
+		if gathered[i] != want[i] {
+			t.Fatalf("p=%d: mismatch at %d: got %d want %d", p, i, gathered[i], want[i])
+		}
+	}
+}
+
+func TestSortStaged(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 8, 9} {
+		for _, k := range []int{2, 3, 128} {
+			runSortCheck(t, p, 200, Options{KWay: k})
+		}
+	}
+}
+
+func TestSortFlat(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		runSortCheck(t, p, 200, Options{Flat: true})
+	}
+}
+
+func TestSortEmptyRanks(t *testing.T) {
+	par.Run(4, func(c *par.Comm) {
+		var local []int
+		if c.Rank() == 2 {
+			local = []int{5, 3, 1, 4, 2}
+		}
+		sorted := Sort(c, local, intLess, Options{KWay: 2})
+		all := par.Allgatherv(c, sorted)
+		if len(all) != 5 {
+			panic(fmt.Sprintf("lost records: %v", all))
+		}
+		for i := 1; i < len(all); i++ {
+			if all[i-1] > all[i] {
+				panic("not sorted")
+			}
+		}
+	})
+}
+
+func TestSortDuplicates(t *testing.T) {
+	par.Run(4, func(c *par.Comm) {
+		local := make([]int, 100)
+		for i := range local {
+			local[i] = i % 3
+		}
+		sorted := Sort(c, local, intLess, Options{KWay: 2})
+		all := par.Allgatherv(c, sorted)
+		if len(all) != 400 {
+			panic("lost records")
+		}
+		for i := 1; i < len(all); i++ {
+			if all[i-1] > all[i] {
+				panic("not sorted")
+			}
+		}
+	})
+}
+
+func TestRepartitionEqual(t *testing.T) {
+	par.Run(4, func(c *par.Comm) {
+		// Rank r starts with r*10 elements; total 60; equal split is 15.
+		local := make([]int, c.Rank()*10)
+		off := 0
+		for r := 0; r < c.Rank(); r++ {
+			off += r * 10
+		}
+		for i := range local {
+			local[i] = off + i
+		}
+		out := Repartition(c, local, nil)
+		if len(out) != 15 {
+			panic(fmt.Sprintf("rank %d: got %d want 15", c.Rank(), len(out)))
+		}
+		for i, v := range out {
+			if v != c.Rank()*15+i {
+				panic(fmt.Sprintf("rank %d: order broken at %d: %d", c.Rank(), i, v))
+			}
+		}
+	})
+}
+
+func TestRepartitionExplicitCounts(t *testing.T) {
+	par.Run(3, func(c *par.Comm) {
+		local := []int{c.Rank() * 2, c.Rank()*2 + 1}
+		out := Repartition(c, local, []int64{1, 2, 3})
+		want := map[int]int{0: 1, 1: 2, 2: 3}[c.Rank()]
+		if len(out) != want {
+			panic(fmt.Sprintf("rank %d: got %d want %d", c.Rank(), len(out), want))
+		}
+	})
+}
+
+func TestMergeRuns(t *testing.T) {
+	runs := [][]int{{1, 4, 7}, {2, 5}, {0, 9}, {}, {3, 6, 8}}
+	got := mergeRuns(runs, intLess)
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	s := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	d := decimate(s, 4)
+	if len(d) != 4 {
+		t.Fatalf("got %v", d)
+	}
+	if !sort.IntsAreSorted(d) {
+		t.Fatalf("decimated not sorted: %v", d)
+	}
+	if len(decimate(s, 20)) != 10 {
+		t.Fatal("short input must be copied whole")
+	}
+}
+
+func TestSortStability_Struct(t *testing.T) {
+	type rec struct{ Key, Tag int }
+	par.Run(3, func(c *par.Comm) {
+		local := []rec{{2, c.Rank()}, {1, c.Rank()}, {2, c.Rank() + 10}}
+		sorted := Sort(c, local, func(a, b rec) bool { return a.Key < b.Key }, Options{KWay: 2})
+		all := par.Allgatherv(c, sorted)
+		for i := 1; i < len(all); i++ {
+			if all[i-1].Key > all[i].Key {
+				panic("not sorted by key")
+			}
+		}
+		if len(all) != 9 {
+			panic("lost records")
+		}
+	})
+}

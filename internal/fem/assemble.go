@@ -1,0 +1,295 @@
+package fem
+
+import (
+	"fmt"
+
+	"proteus/internal/la"
+	"proteus/internal/mesh"
+	"proteus/internal/par"
+)
+
+// NodeMajorKernel fills the elemental matrix Ke for element e in
+// node-major layout: Ke[(a*ndof+di)*(npe*ndof) + b*ndof+dj].
+type NodeMajorKernel func(e int, h float64, ke []float64)
+
+// ZippedKernel fills dof-pair-major blocks for element e:
+// blocks[di*ndof+dj] is a contiguous npe x npe scalar block (the zipped
+// layout produced by the GEMM operators).
+type ZippedKernel func(e int, h float64, blocks [][]float64)
+
+// offProc is a matrix contribution destined for a remote owner of the row
+// node. Blocks are at most 4x4 (ndof <= 4).
+type offProc struct {
+	Row, Col mesh.NodeKey
+	V        [16]float64
+}
+
+const tagOffProc = 103
+
+// Layout selects the storage/assembly strategy of Table I.
+type Layout int
+
+// Assembly layouts benchmarked in Table I.
+const (
+	// LayoutAIJ is the baseline: scalar CSR with per-DOF strided writes.
+	LayoutAIJ Layout = iota
+	// LayoutBAIJ is stage 1: node-blocked storage, one block write per
+	// node pair.
+	LayoutBAIJ
+	// LayoutZipped is stage 2: GEMM-produced zipped blocks unzipped
+	// directly into block storage.
+	LayoutZipped
+)
+
+// NewMatrix allocates an empty matrix matching the layout: scalar AIJ for
+// the baseline, BAIJ otherwise.
+func NewMatrix(m *mesh.Mesh, ndof int, layout Layout) *la.BSRMat {
+	if layout == LayoutAIJ {
+		return la.NewAIJ(m, ndof, m.NumOwned, m.NumLocal)
+	}
+	return la.NewBAIJ(m, ndof, m.NumOwned, m.NumLocal)
+}
+
+// Assembler drives distributed matrix and vector assembly over a mesh.
+type Assembler struct {
+	M    *mesh.Mesh
+	Ref  *Ref
+	Ndof int
+
+	// scratch
+	ke     []float64
+	blocks [][]float64
+	blk    []float64
+	femWk  *GemmWork
+}
+
+// NewAssembler builds an assembler for ndof unknowns per node.
+func NewAssembler(m *mesh.Mesh, ndof int) *Assembler {
+	r := NewRef(m.Dim)
+	if ndof > 4 {
+		panic("fem: ndof > 4 unsupported by off-process block buffer")
+	}
+	a := &Assembler{M: m, Ref: r, Ndof: ndof}
+	n := r.NPE * ndof
+	a.ke = make([]float64, n*n)
+	a.blocks = make([][]float64, ndof*ndof)
+	for i := range a.blocks {
+		a.blocks[i] = make([]float64, r.NPE*r.NPE)
+	}
+	a.blk = make([]float64, ndof*ndof)
+	a.femWk = NewGemmWork(r)
+	return a
+}
+
+// Work returns the assembler's GEMM scratch (for zipped kernels).
+func (a *Assembler) Work() *GemmWork { return a.femWk }
+
+// AssembleMatrix runs the element loop with the node-major kernel and
+// accumulates into mat using the requested layout (LayoutAIJ or
+// LayoutBAIJ). Contributions to rows owned remotely are exchanged with
+// NBX at the end (PETSc's off-process assembly). Collective.
+func (a *Assembler) AssembleMatrix(mat *la.BSRMat, layout Layout, kern NodeMajorKernel) {
+	if layout == LayoutZipped {
+		panic("fem: use AssembleMatrixZipped for the zipped layout")
+	}
+	off := newOffProcBuf()
+	for e := 0; e < a.M.NumElems(); e++ {
+		for i := range a.ke {
+			a.ke[i] = 0
+		}
+		kern(e, a.M.ElemSize(e), a.ke)
+		a.scatterKe(mat, layout, e, off)
+	}
+	a.flushOffProc(mat, layout, off)
+}
+
+// AssembleMatrixZipped runs the element loop with a zipped kernel; blocks
+// are unzipped per node pair straight into BAIJ block writes. Collective.
+func (a *Assembler) AssembleMatrixZipped(mat *la.BSRMat, kern ZippedKernel) {
+	off := newOffProcBuf()
+	npe := a.Ref.NPE
+	nd := a.Ndof
+	for e := 0; e < a.M.NumElems(); e++ {
+		for _, b := range a.blocks {
+			for i := range b {
+				b[i] = 0
+			}
+		}
+		kern(e, a.M.ElemSize(e), a.blocks)
+		// Unzip per node pair: gather the ndof x ndof block for (a,b)
+		// from the contiguous dof-pair blocks.
+		cpe := a.M.CornersPerElem()
+		for ca := 0; ca < cpe; ca++ {
+			conA := &a.M.Conn[e*cpe+ca]
+			for cb := 0; cb < cpe; cb++ {
+				conB := &a.M.Conn[e*cpe+cb]
+				for di := 0; di < nd; di++ {
+					for dj := 0; dj < nd; dj++ {
+						a.blk[di*nd+dj] = a.blocks[di*nd+dj][ca*npe+cb]
+					}
+				}
+				a.distributeBlock(mat, LayoutBAIJ, conA, conB, a.blk, off)
+			}
+		}
+	}
+	a.flushOffProc(mat, LayoutBAIJ, off)
+}
+
+// scatterKe distributes the node-major elemental matrix through the
+// hanging constraints into mat.
+func (a *Assembler) scatterKe(mat *la.BSRMat, layout Layout, e int, off *offProcBuf) {
+	cpe := a.M.CornersPerElem()
+	nd := a.Ndof
+	n := a.Ref.NPE * nd
+	for ca := 0; ca < cpe; ca++ {
+		conA := &a.M.Conn[e*cpe+ca]
+		for cb := 0; cb < cpe; cb++ {
+			conB := &a.M.Conn[e*cpe+cb]
+			// Extract the ndof x ndof corner block from node-major Ke.
+			for di := 0; di < nd; di++ {
+				for dj := 0; dj < nd; dj++ {
+					a.blk[di*nd+dj] = a.ke[(ca*nd+di)*n+cb*nd+dj]
+				}
+			}
+			a.distributeBlock(mat, layout, conA, conB, a.blk, off)
+		}
+	}
+}
+
+// distributeBlock adds blk (ndof x ndof) at every donor pair of the two
+// constraints, weighted, routing remotely-owned rows to the off-process
+// buffer.
+func (a *Assembler) distributeBlock(mat *la.BSRMat, layout Layout, conA, conB *mesh.Constraint, blk []float64, off *offProcBuf) {
+	m := a.M
+	nd := a.Ndof
+	me := int32(m.Comm.Rank())
+	for i := 0; i < int(conA.N); i++ {
+		rowNode := int(conA.Idx[i])
+		wi := conA.W[i]
+		for j := 0; j < int(conB.N); j++ {
+			colNode := int(conB.Idx[j])
+			w := wi * conB.W[j]
+			if m.Owner[rowNode] != me {
+				var ent offProc
+				ent.Row = m.Keys[rowNode]
+				ent.Col = m.Keys[colNode]
+				for k := 0; k < nd*nd; k++ {
+					ent.V[k] = w * blk[k]
+				}
+				off.add(int(m.Owner[rowNode]), ent)
+				continue
+			}
+			switch layout {
+			case LayoutAIJ:
+				// Strided scalar writes, the baseline pattern of Fig. 3.
+				for di := 0; di < nd; di++ {
+					for dj := 0; dj < nd; dj++ {
+						mat.AddValue(rowNode*nd+di, colNode*nd+dj, w*blk[di*nd+dj])
+					}
+				}
+			default:
+				if w == 1 {
+					mat.AddBlock(rowNode, colNode, blk)
+				} else {
+					var tmp [16]float64
+					for k := 0; k < nd*nd; k++ {
+						tmp[k] = w * blk[k]
+					}
+					mat.AddBlock(rowNode, colNode, tmp[:nd*nd])
+				}
+			}
+		}
+	}
+}
+
+type offProcBuf struct {
+	perRank map[int][]offProc
+}
+
+func newOffProcBuf() *offProcBuf { return &offProcBuf{perRank: map[int][]offProc{}} }
+
+func (b *offProcBuf) add(rank int, e offProc) { b.perRank[rank] = append(b.perRank[rank], e) }
+
+// flushOffProc exchanges buffered remote-row contributions and applies the
+// received ones locally.
+func (a *Assembler) flushOffProc(mat *la.BSRMat, layout Layout, off *offProcBuf) {
+	c := a.M.Comm
+	if c.Size() == 1 {
+		return
+	}
+	dests := make([]int, 0, len(off.perRank))
+	bufs := make([][]offProc, 0, len(off.perRank))
+	for r, lst := range off.perRank {
+		dests = append(dests, r)
+		bufs = append(bufs, lst)
+	}
+	_, recvd := par.NBXExchange(c, dests, bufs)
+	nd := a.Ndof
+	for _, batch := range recvd {
+		for _, ent := range batch {
+			rowNode, ok := a.M.NodeIndex(ent.Row)
+			if !ok {
+				panic(fmt.Sprintf("fem: off-process row %v unknown on owner", ent.Row))
+			}
+			colNode, ok := a.M.NodeIndex(ent.Col)
+			if !ok {
+				panic(fmt.Sprintf("fem: off-process column %v unknown on rank %d", ent.Col, c.Rank()))
+			}
+			if layout == LayoutAIJ {
+				for di := 0; di < nd; di++ {
+					for dj := 0; dj < nd; dj++ {
+						mat.AddValue(rowNode*nd+di, colNode*nd+dj, ent.V[di*nd+dj])
+					}
+				}
+			} else {
+				mat.AddBlock(rowNode, colNode, ent.V[:nd*nd])
+			}
+		}
+	}
+}
+
+// VecKernel fills the node-major elemental vector fe[a*ndof+d].
+type VecKernel func(e int, h float64, fe []float64)
+
+// AssembleVector accumulates elemental vectors into v (full local layout)
+// and pushes ghost contributions to owners. Collective.
+func (a *Assembler) AssembleVector(v []float64, kern VecKernel) {
+	for i := range v {
+		v[i] = 0
+	}
+	cpe := a.M.CornersPerElem()
+	fe := make([]float64, cpe*a.Ndof)
+	for e := 0; e < a.M.NumElems(); e++ {
+		for i := range fe {
+			fe[i] = 0
+		}
+		kern(e, a.M.ElemSize(e), fe)
+		a.M.ScatterAddElem(e, fe, a.Ndof, v)
+	}
+	a.M.GhostWrite(v, a.Ndof, mesh.Add, 0)
+}
+
+// ZippedVecKernel fills the dof-major (zipped) elemental vector
+// fz[d*npe+a].
+type ZippedVecKernel func(e int, h float64, fz []float64)
+
+// AssembleVectorZipped is the stage-2 vector path: kernels produce zipped
+// (dof-contiguous) elemental vectors via DGEMV, which are unzipped before
+// the constraint scatter. Collective.
+func (a *Assembler) AssembleVectorZipped(v []float64, kern ZippedVecKernel) {
+	for i := range v {
+		v[i] = 0
+	}
+	cpe := a.M.CornersPerElem()
+	fz := make([]float64, cpe*a.Ndof)
+	fe := make([]float64, cpe*a.Ndof)
+	for e := 0; e < a.M.NumElems(); e++ {
+		for i := range fz {
+			fz[i] = 0
+		}
+		kern(e, a.M.ElemSize(e), fz)
+		UnzipVec(a.Ndof, cpe, fz, fe)
+		a.M.ScatterAddElem(e, fe, a.Ndof, v)
+	}
+	a.M.GhostWrite(v, a.Ndof, mesh.Add, 0)
+}

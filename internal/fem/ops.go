@@ -1,0 +1,140 @@
+package fem
+
+// Elemental operators computed with explicit Gauss-point loops — the
+// formulation the baseline and stage-1 assembly paths use. All matrices
+// are NPE x NPE row-major scalar blocks for an element of physical side h.
+
+// Mass accumulates the consistent mass matrix: out += ∫ N_a N_b dV.
+func (r *Ref) Mass(h float64, scale float64, out []float64) {
+	vol := pow(h, r.Dim)
+	for g := 0; g < r.NG; g++ {
+		w := r.W[g] * vol * scale
+		ng := r.N[g*r.NPE : (g+1)*r.NPE]
+		for a := 0; a < r.NPE; a++ {
+			wa := w * ng[a]
+			for b := 0; b < r.NPE; b++ {
+				out[a*r.NPE+b] += wa * ng[b]
+			}
+		}
+	}
+}
+
+// WeightedMass accumulates ∫ c(x) N_a N_b dV with c given at corners.
+func (r *Ref) WeightedMass(h float64, coef []float64, scale float64, out []float64) {
+	vol := pow(h, r.Dim)
+	for g := 0; g < r.NG; g++ {
+		w := r.W[g] * vol * scale * r.AtGauss(g, coef)
+		ng := r.N[g*r.NPE : (g+1)*r.NPE]
+		for a := 0; a < r.NPE; a++ {
+			wa := w * ng[a]
+			for b := 0; b < r.NPE; b++ {
+				out[a*r.NPE+b] += wa * ng[b]
+			}
+		}
+	}
+}
+
+// Stiffness accumulates ∫ ∇N_a · ∇N_b dV.
+func (r *Ref) Stiffness(h float64, scale float64, out []float64) {
+	// Gradients carry 1/h each; volume h^d: net h^(d-2).
+	f := pow(h, r.Dim-2) * scale
+	for g := 0; g < r.NG; g++ {
+		w := r.W[g] * f
+		for a := 0; a < r.NPE; a++ {
+			da := r.DN[(g*r.NPE+a)*r.Dim : (g*r.NPE+a+1)*r.Dim]
+			for b := 0; b < r.NPE; b++ {
+				db := r.DN[(g*r.NPE+b)*r.Dim : (g*r.NPE+b+1)*r.Dim]
+				var s float64
+				for d := 0; d < r.Dim; d++ {
+					s += da[d] * db[d]
+				}
+				out[a*r.NPE+b] += w * s
+			}
+		}
+	}
+}
+
+// WeightedStiffness accumulates ∫ c(x) ∇N_a · ∇N_b dV with c at corners.
+func (r *Ref) WeightedStiffness(h float64, coef []float64, scale float64, out []float64) {
+	f := pow(h, r.Dim-2) * scale
+	for g := 0; g < r.NG; g++ {
+		w := r.W[g] * f * r.AtGauss(g, coef)
+		for a := 0; a < r.NPE; a++ {
+			da := r.DN[(g*r.NPE+a)*r.Dim : (g*r.NPE+a+1)*r.Dim]
+			for b := 0; b < r.NPE; b++ {
+				db := r.DN[(g*r.NPE+b)*r.Dim : (g*r.NPE+b+1)*r.Dim]
+				var s float64
+				for d := 0; d < r.Dim; d++ {
+					s += da[d] * db[d]
+				}
+				out[a*r.NPE+b] += w * s
+			}
+		}
+	}
+}
+
+// Convection accumulates ∫ N_a (v·∇N_b) dV with velocity components given
+// at corners, vel[c*Dim+d].
+func (r *Ref) Convection(h float64, vel []float64, scale float64, out []float64) {
+	f := pow(h, r.Dim-1) * scale // one gradient: h^d * (1/h)
+	var vg [3]float64
+	for g := 0; g < r.NG; g++ {
+		for d := 0; d < r.Dim; d++ {
+			var s float64
+			for a := 0; a < r.NPE; a++ {
+				s += r.N[g*r.NPE+a] * vel[a*r.Dim+d]
+			}
+			vg[d] = s
+		}
+		w := r.W[g] * f
+		ng := r.N[g*r.NPE : (g+1)*r.NPE]
+		for a := 0; a < r.NPE; a++ {
+			wa := w * ng[a]
+			for b := 0; b < r.NPE; b++ {
+				db := r.DN[(g*r.NPE+b)*r.Dim : (g*r.NPE+b+1)*r.Dim]
+				var s float64
+				for d := 0; d < r.Dim; d++ {
+					s += vg[d] * db[d]
+				}
+				out[a*r.NPE+b] += wa * s
+			}
+		}
+	}
+}
+
+// LoadVector accumulates ∫ f(x) N_a dV with f given at corners into
+// out[a].
+func (r *Ref) LoadVector(h float64, f []float64, scale float64, out []float64) {
+	vol := pow(h, r.Dim) * scale
+	for g := 0; g < r.NG; g++ {
+		w := r.W[g] * vol * r.AtGauss(g, f)
+		for a := 0; a < r.NPE; a++ {
+			out[a] += w * r.N[g*r.NPE+a]
+		}
+	}
+}
+
+// GradDotVector accumulates ∫ (q · ∇N_a) dV with a vector field q given
+// at corners (q[c*Dim+d]) into out[a] — the weak divergence operator.
+func (r *Ref) GradDotVector(h float64, q []float64, scale float64, out []float64) {
+	f := pow(h, r.Dim-1) * scale
+	var qg [3]float64
+	for g := 0; g < r.NG; g++ {
+		for d := 0; d < r.Dim; d++ {
+			var s float64
+			for a := 0; a < r.NPE; a++ {
+				s += r.N[g*r.NPE+a] * q[a*r.Dim+d]
+			}
+			qg[d] = s
+		}
+		w := r.W[g] * f
+		for a := 0; a < r.NPE; a++ {
+			da := r.DN[(g*r.NPE+a)*r.Dim : (g*r.NPE+a+1)*r.Dim]
+			var s float64
+			for d := 0; d < r.Dim; d++ {
+				s += qg[d] * da[d]
+			}
+			out[a] += w * s
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// Reducer provides global reductions over ranks. A serial Reducer can
+// simply return its inputs.
+type Reducer interface {
+	GlobalSumN(vals []float64) []float64
+}
+
+// SerialReducer is a Reducer for single-rank use.
+type SerialReducer struct{}
+
+// GlobalSumN returns vals unchanged.
+func (SerialReducer) GlobalSumN(vals []float64) []float64 { return vals }
+
+// Method selects a Krylov solver.
+type Method string
+
+// Krylov method names mirror the PETSc -ksp_type values from Table II.
+const (
+	CG     Method = "cg"
+	BiCGS  Method = "bcgs"
+	IBiCGS Method = "ibcgs"
+	GMRES  Method = "gmres"
+)
+
+// KSP is a configured Krylov solve, mirroring the PETSc KSP object.
+type KSP struct {
+	Op      Operator
+	PC      PC
+	Red     Reducer
+	Type    Method
+	Rtol    float64 // relative tolerance (default 1e-8, as in the paper)
+	Atol    float64 // absolute tolerance (default 1e-8)
+	MaxIt   int     // default 10000
+	Restart int     // GMRES restart length (default 30)
+}
+
+// Result reports a solve outcome.
+type Result struct {
+	Iterations int
+	Converged  bool
+	Residual   float64
+}
+
+func (k *KSP) defaults() {
+	if k.Rtol == 0 {
+		k.Rtol = 1e-8
+	}
+	if k.Atol == 0 {
+		k.Atol = 1e-8
+	}
+	if k.MaxIt == 0 {
+		k.MaxIt = 10000
+	}
+	if k.Restart == 0 {
+		k.Restart = 30
+	}
+	if k.PC == nil {
+		k.PC = PCNone{}
+	}
+	if k.Red == nil {
+		k.Red = SerialReducer{}
+	}
+}
+
+func (k *KSP) dot2(a, b, c, d []float64, n int) (float64, float64) {
+	var s0, s1 float64
+	for i := 0; i < n; i++ {
+		s0 += a[i] * b[i]
+		s1 += c[i] * d[i]
+	}
+	r := k.Red.GlobalSumN([]float64{s0, s1})
+	return r[0], r[1]
+}
+
+func (k *KSP) dot(a, b []float64, n int) float64 {
+	var s float64
+	for i := 0; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return k.Red.GlobalSumN([]float64{s})[0]
+}
+
+func (k *KSP) norm(a []float64, n int) float64 {
+	return math.Sqrt(k.dot(a, a, n))
+}
+
+// Solve solves Op*x = b, using x as the initial guess, and overwrites x
+// with the solution. b and x are full local vectors; only owned segments
+// are read/written by the solver itself.
+func (k *KSP) Solve(b, x []float64) Result {
+	k.defaults()
+	switch k.Type {
+	case CG:
+		return k.cg(b, x)
+	case BiCGS:
+		return k.bicgstab(b, x, false)
+	case IBiCGS, "":
+		return k.bicgstab(b, x, true)
+	case GMRES:
+		return k.gmres(b, x)
+	default:
+		panic(fmt.Sprintf("la: unknown KSP type %q", k.Type))
+	}
+}
+
+// cg is preconditioned conjugate gradients for SPD operators.
+func (k *KSP) cg(b, x []float64) Result {
+	n := k.Op.Rows()
+	full := k.Op.FullLen()
+	r := make([]float64, full)
+	z := make([]float64, full)
+	p := make([]float64, full)
+	ap := make([]float64, full)
+	k.Op.Apply(x, ap)
+	for i := 0; i < n; i++ {
+		r[i] = b[i] - ap[i]
+	}
+	bnorm := k.norm(b, n)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	k.PC.Apply(r[:n], z[:n])
+	copy(p[:n], z[:n])
+	rz := k.dot(r, z, n)
+	rnorm := k.norm(r, n)
+	for it := 0; it < k.MaxIt; it++ {
+		if rnorm <= k.Rtol*bnorm || rnorm <= k.Atol {
+			return Result{Iterations: it, Converged: true, Residual: rnorm}
+		}
+		k.Op.Apply(p, ap)
+		pap := k.dot(p, ap, n)
+		if pap == 0 {
+			return Result{Iterations: it, Converged: false, Residual: rnorm}
+		}
+		alpha := rz / pap
+		for i := 0; i < n; i++ {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		k.PC.Apply(r[:n], z[:n])
+		rzNew, rr := k.dot2(r, z, r, r, n)
+		rnorm = math.Sqrt(rr)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := 0; i < n; i++ {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return Result{Iterations: k.MaxIt, Converged: false, Residual: rnorm}
+}
+
+// bicgstab is preconditioned BiCGStab; with fused=true the two inner
+// products per half-step are batched into single reductions, the
+// communication-avoiding trick behind PETSc's IBCGS variant used for the
+// pressure-Poisson solve in Table II.
+func (k *KSP) bicgstab(b, x []float64, fused bool) Result {
+	n := k.Op.Rows()
+	full := k.Op.FullLen()
+	r := make([]float64, full)
+	rhat := make([]float64, n)
+	p := make([]float64, full)
+	v := make([]float64, full)
+	s := make([]float64, full)
+	t := make([]float64, full)
+	ph := make([]float64, full)
+	sh := make([]float64, full)
+	k.Op.Apply(x, v)
+	for i := 0; i < n; i++ {
+		r[i] = b[i] - v[i]
+		rhat[i] = r[i]
+	}
+	for i := range v {
+		v[i] = 0
+	}
+	bnorm := k.norm(b, n)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	rho, alpha, omega := 1.0, 1.0, 1.0
+	rnorm := k.norm(r, n)
+	for it := 0; it < k.MaxIt; it++ {
+		if rnorm <= k.Rtol*bnorm || rnorm <= k.Atol {
+			return Result{Iterations: it, Converged: true, Residual: rnorm}
+		}
+		rhoNew := k.dot(rhat, r, n)
+		if rhoNew == 0 {
+			return Result{Iterations: it, Converged: false, Residual: rnorm}
+		}
+		if it == 0 {
+			copy(p[:n], r[:n])
+		} else {
+			beta := (rhoNew / rho) * (alpha / omega)
+			for i := 0; i < n; i++ {
+				p[i] = r[i] + beta*(p[i]-omega*v[i])
+			}
+		}
+		rho = rhoNew
+		k.PC.Apply(p[:n], ph[:n])
+		k.Op.Apply(ph, v)
+		rhv := k.dot(rhat, v, n)
+		if rhv == 0 {
+			return Result{Iterations: it, Converged: false, Residual: rnorm}
+		}
+		alpha = rho / rhv
+		for i := 0; i < n; i++ {
+			s[i] = r[i] - alpha*v[i]
+		}
+		snorm := k.norm(s, n)
+		if snorm <= k.Rtol*bnorm || snorm <= k.Atol {
+			for i := 0; i < n; i++ {
+				x[i] += alpha * ph[i]
+			}
+			return Result{Iterations: it + 1, Converged: true, Residual: snorm}
+		}
+		k.PC.Apply(s[:n], sh[:n])
+		k.Op.Apply(sh, t)
+		var tt, ts float64
+		if fused {
+			tt, ts = k.dot2(t, t, t, s, n)
+		} else {
+			tt = k.dot(t, t, n)
+			ts = k.dot(t, s, n)
+		}
+		if tt == 0 {
+			return Result{Iterations: it, Converged: false, Residual: rnorm}
+		}
+		omega = ts / tt
+		for i := 0; i < n; i++ {
+			x[i] += alpha*ph[i] + omega*sh[i]
+			r[i] = s[i] - omega*t[i]
+		}
+		rnorm = k.norm(r, n)
+		if omega == 0 {
+			return Result{Iterations: it + 1, Converged: false, Residual: rnorm}
+		}
+	}
+	return Result{Iterations: k.MaxIt, Converged: false, Residual: rnorm}
+}
+
+// gmres is restarted GMRES with modified Gram-Schmidt and right
+// preconditioning.
+func (k *KSP) gmres(b, x []float64) Result {
+	n := k.Op.Rows()
+	full := k.Op.FullLen()
+	m := k.Restart
+	r := make([]float64, full)
+	w := make([]float64, full)
+	zv := make([]float64, full)
+	V := make([][]float64, m+1)
+	for i := range V {
+		V[i] = make([]float64, full)
+	}
+	H := make([][]float64, m+1)
+	for i := range H {
+		H[i] = make([]float64, m)
+	}
+	cs := make([]float64, m)
+	sn := make([]float64, m)
+	g := make([]float64, m+1)
+	bnorm := k.norm(b, n)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	totalIt := 0
+	for cycle := 0; totalIt < k.MaxIt; cycle++ {
+		k.Op.Apply(x, w)
+		for i := 0; i < n; i++ {
+			r[i] = b[i] - w[i]
+		}
+		beta := k.norm(r, n)
+		if beta <= k.Rtol*bnorm || beta <= k.Atol {
+			return Result{Iterations: totalIt, Converged: true, Residual: beta}
+		}
+		for i := 0; i < n; i++ {
+			V[0][i] = r[i] / beta
+		}
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+		j := 0
+		for ; j < m && totalIt < k.MaxIt; j++ {
+			totalIt++
+			k.PC.Apply(V[j][:n], zv[:n])
+			k.Op.Apply(zv, w)
+			for i := 0; i <= j; i++ {
+				h := k.dot(w, V[i], n)
+				H[i][j] = h
+				for l := 0; l < n; l++ {
+					w[l] -= h * V[i][l]
+				}
+			}
+			hn := k.norm(w, n)
+			H[j+1][j] = hn
+			if hn != 0 {
+				for l := 0; l < n; l++ {
+					V[j+1][l] = w[l] / hn
+				}
+			}
+			// Apply accumulated Givens rotations.
+			for i := 0; i < j; i++ {
+				t := cs[i]*H[i][j] + sn[i]*H[i+1][j]
+				H[i+1][j] = -sn[i]*H[i][j] + cs[i]*H[i+1][j]
+				H[i][j] = t
+			}
+			d := math.Hypot(H[j][j], H[j+1][j])
+			if d == 0 {
+				j++
+				break
+			}
+			cs[j], sn[j] = H[j][j]/d, H[j+1][j]/d
+			H[j][j] = d
+			H[j+1][j] = 0
+			g[j+1] = -sn[j] * g[j]
+			g[j] = cs[j] * g[j]
+			if res := math.Abs(g[j+1]); res <= k.Rtol*bnorm || res <= k.Atol {
+				j++
+				break
+			}
+		}
+		// Back-substitute y and update x via the preconditioned basis.
+		y := make([]float64, j)
+		for i := j - 1; i >= 0; i-- {
+			s := g[i]
+			for l := i + 1; l < j; l++ {
+				s -= H[i][l] * y[l]
+			}
+			if H[i][i] != 0 {
+				y[i] = s / H[i][i]
+			}
+		}
+		for i := range zv {
+			zv[i] = 0
+		}
+		for l := 0; l < j; l++ {
+			for i := 0; i < n; i++ {
+				zv[i] += y[l] * V[l][i]
+			}
+		}
+		k.PC.Apply(zv[:n], w[:n])
+		for i := 0; i < n; i++ {
+			x[i] += w[i]
+		}
+	}
+	k.Op.Apply(x, w)
+	for i := 0; i < n; i++ {
+		r[i] = b[i] - w[i]
+	}
+	res := k.norm(r, n)
+	return Result{Iterations: totalIt, Converged: res <= k.Rtol*bnorm || res <= k.Atol, Residual: res}
+}

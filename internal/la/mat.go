@@ -1,0 +1,369 @@
+// Package la is the linear-algebra substrate standing in for PETSc: local
+// vectors with owned+ghost layout, assembled sparse matrices in AIJ (CSR)
+// and BAIJ (block-CSR) formats, Krylov solvers (CG, BiCGStab, a fused
+// IBCGS variant, restarted GMRES), preconditioners (Jacobi, point-block
+// Jacobi, block-Jacobi with ILU(0) local solves) and a Newton driver.
+//
+// Matrices are distributed by rows: each rank owns the rows of its owned
+// mesh nodes; column indices are local (owned followed by ghost), and the
+// operator refreshes ghost values before multiplying, exactly like a
+// PETSc MatMult with its VecScatter. The BAIJ format stores dense
+// bs*bs blocks, the layout the paper converts to in Stage 1 of Table I.
+package la
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Scatter abstracts the mesh ghost exchange the matrix needs: refresh
+// ghost entries of a vector and reduce global dot products.
+type Scatter interface {
+	GhostRead(v []float64, ndof int)
+	Dot(a, b []float64, ndof int) float64
+	GlobalSum(v float64) float64
+}
+
+// Operator is anything that can apply y = A*x on full local vectors
+// (owned+ghost layout); only the owned segment of y is defined after the
+// call.
+type Operator interface {
+	Apply(x, y []float64)
+	// Rows returns the owned unknown count (scalar entries).
+	Rows() int
+	// FullLen returns the full local vector length.
+	FullLen() int
+}
+
+// BSRMat is a block compressed-sparse-row matrix with square blocks of
+// size Bs. With Bs == 1 it degenerates to AIJ; constructors name the two
+// cases for clarity in the Table I benchmarks.
+type BSRMat struct {
+	Bs        int
+	NRowNodes int // owned block rows
+	NColNodes int // local (owned+ghost) block columns
+	// scatterDof is the unknowns-per-mesh-node used for ghost exchange:
+	// equal to Bs for BAIJ, but the full node dof count for scalar AIJ
+	// matrices whose rows are flattened node*ndof entries.
+	scatterDof int
+	scatter    Scatter
+
+	// Assembly state (COO map) until Finalize; then CSR arrays.
+	build map[[2]int32][]float64
+
+	indptr []int32
+	cols   []int32
+	vals   []float64 // len(cols) * Bs * Bs, block-major row-major blocks
+
+	finalized bool
+}
+
+// NewBAIJ returns an empty block matrix with the given block size.
+func NewBAIJ(scatter Scatter, bs, ownedNodes, localNodes int) *BSRMat {
+	return &BSRMat{
+		Bs: bs, NRowNodes: ownedNodes, NColNodes: localNodes,
+		scatterDof: bs, scatter: scatter, build: make(map[[2]int32][]float64),
+	}
+}
+
+// NewAIJ returns an empty scalar CSR matrix over ndof unknowns per node:
+// the node-blocked sparsity is flattened to scalar rows/columns, the
+// format the paper starts from ("baseline", MATMPIAIJ).
+func NewAIJ(scatter Scatter, ndof, ownedNodes, localNodes int) *BSRMat {
+	return &BSRMat{
+		Bs: 1, NRowNodes: ownedNodes * ndof, NColNodes: localNodes * ndof,
+		scatterDof: ndof, scatter: scatter, build: make(map[[2]int32][]float64),
+	}
+}
+
+// Rows implements Operator.
+func (m *BSRMat) Rows() int { return m.NRowNodes * m.Bs }
+
+// FullLen implements Operator.
+func (m *BSRMat) FullLen() int { return m.NColNodes * m.Bs }
+
+// Zero resets all stored values (keeping the sparsity if finalized).
+func (m *BSRMat) Zero() {
+	if m.finalized {
+		for i := range m.vals {
+			m.vals[i] = 0
+		}
+		return
+	}
+	m.build = make(map[[2]int32][]float64)
+}
+
+// AddBlock accumulates a Bs x Bs dense block (row-major) at block
+// position (rowNode, colNode). Rows beyond the owned range are ignored —
+// callers push ghost-row contributions to their owners via the mesh ghost
+// write before assembling, mirroring PETSc's off-process assembly cache.
+func (m *BSRMat) AddBlock(rowNode, colNode int, block []float64) {
+	if rowNode < 0 || rowNode >= m.NRowNodes {
+		panic(fmt.Sprintf("la.AddBlock: row node %d out of owned range %d", rowNode, m.NRowNodes))
+	}
+	if m.finalized {
+		m.addFinalized(rowNode, colNode, block)
+		return
+	}
+	key := [2]int32{int32(rowNode), int32(colNode)}
+	b := m.build[key]
+	if b == nil {
+		b = make([]float64, m.Bs*m.Bs)
+		m.build[key] = b
+	}
+	for i := range block {
+		b[i] += block[i]
+	}
+}
+
+// AddValue accumulates a scalar at (row, col) in scalar index space
+// (node*Bs + dof).
+func (m *BSRMat) AddValue(row, col int, v float64) {
+	rn, rd := row/m.Bs, row%m.Bs
+	cn, cd := col/m.Bs, col%m.Bs
+	if m.finalized {
+		var blk [64]float64
+		blk[rd*m.Bs+cd] = v
+		m.addFinalized(rn, cn, blk[:m.Bs*m.Bs])
+		return
+	}
+	key := [2]int32{int32(rn), int32(cn)}
+	b := m.build[key]
+	if b == nil {
+		b = make([]float64, m.Bs*m.Bs)
+		m.build[key] = b
+	}
+	b[rd*m.Bs+cd] += v
+}
+
+func (m *BSRMat) addFinalized(rowNode, colNode int, block []float64) {
+	bs2 := m.Bs * m.Bs
+	lo, hi := m.indptr[rowNode], m.indptr[rowNode+1]
+	for j := lo; j < hi; j++ {
+		if m.cols[j] == int32(colNode) {
+			base := int(j) * bs2
+			for i := 0; i < bs2; i++ {
+				m.vals[base+i] += block[i]
+			}
+			return
+		}
+	}
+	panic(fmt.Sprintf("la: block (%d,%d) not in finalized sparsity", rowNode, colNode))
+}
+
+// Finalize converts the assembly map into CSR arrays. Subsequent AddBlock
+// calls must hit existing positions (same sparsity), as in PETSc after the
+// first assembly.
+func (m *BSRMat) Finalize() {
+	if m.finalized {
+		return
+	}
+	type ent struct {
+		r, c int32
+	}
+	keys := make([]ent, 0, len(m.build))
+	for k := range m.build {
+		keys = append(keys, ent{k[0], k[1]})
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].r != keys[j].r {
+			return keys[i].r < keys[j].r
+		}
+		return keys[i].c < keys[j].c
+	})
+	bs2 := m.Bs * m.Bs
+	m.indptr = make([]int32, m.NRowNodes+1)
+	m.cols = make([]int32, len(keys))
+	m.vals = make([]float64, len(keys)*bs2)
+	for i, k := range keys {
+		m.indptr[k.r+1]++
+		m.cols[i] = k.c
+		copy(m.vals[i*bs2:(i+1)*bs2], m.build[[2]int32{k.r, k.c}])
+	}
+	for r := 0; r < m.NRowNodes; r++ {
+		m.indptr[r+1] += m.indptr[r]
+	}
+	m.build = nil
+	m.finalized = true
+}
+
+// Apply computes y = A*x. x must be a full local vector; ghosts are
+// refreshed before the multiply. Implements Operator.
+func (m *BSRMat) Apply(x, y []float64) {
+	if !m.finalized {
+		m.Finalize()
+	}
+	if m.scatter != nil {
+		m.scatter.GhostRead(x, m.scatterDof)
+	}
+	bs := m.Bs
+	bs2 := bs * bs
+	for r := 0; r < m.NRowNodes; r++ {
+		// Accumulate into a small local buffer to keep the row hot.
+		var acc [8]float64
+		a := acc[:bs]
+		for i := range a {
+			a[i] = 0
+		}
+		for j := m.indptr[r]; j < m.indptr[r+1]; j++ {
+			c := int(m.cols[j]) * bs
+			blk := m.vals[int(j)*bs2 : int(j+1)*bs2]
+			for bi := 0; bi < bs; bi++ {
+				s := a[bi]
+				row := blk[bi*bs : (bi+1)*bs]
+				for bj := 0; bj < bs; bj++ {
+					s += row[bj] * x[c+bj]
+				}
+				a[bi] = s
+			}
+		}
+		copy(y[r*bs:(r+1)*bs], a)
+	}
+}
+
+// ZeroRow zeroes every stored entry of scalar row (node*Bs+dof) and sets
+// its diagonal to diag. Used to impose Dirichlet boundary conditions after
+// assembly.
+func (m *BSRMat) ZeroRow(row int, diag float64) {
+	if !m.finalized {
+		m.Finalize()
+	}
+	bs := m.Bs
+	bs2 := bs * bs
+	rn, rd := row/bs, row%bs
+	for j := m.indptr[rn]; j < m.indptr[rn+1]; j++ {
+		blk := m.vals[int(j)*bs2 : int(j+1)*bs2]
+		for bj := 0; bj < bs; bj++ {
+			blk[rd*bs+bj] = 0
+		}
+		if int(m.cols[j]) == rn {
+			blk[rd*bs+rd] = diag
+		}
+	}
+}
+
+// DiagBlocks returns a copy of the diagonal blocks (row-major, per node),
+// for the point-block Jacobi preconditioner.
+func (m *BSRMat) DiagBlocks() []float64 {
+	if !m.finalized {
+		m.Finalize()
+	}
+	bs2 := m.Bs * m.Bs
+	out := make([]float64, m.NRowNodes*bs2)
+	for r := 0; r < m.NRowNodes; r++ {
+		for j := m.indptr[r]; j < m.indptr[r+1]; j++ {
+			if int(m.cols[j]) == r {
+				copy(out[r*bs2:(r+1)*bs2], m.vals[int(j)*bs2:int(j+1)*bs2])
+			}
+		}
+	}
+	return out
+}
+
+// NNZBlocks returns the stored block count.
+func (m *BSRMat) NNZBlocks() int {
+	if !m.finalized {
+		return len(m.build)
+	}
+	return len(m.cols)
+}
+
+// LocalCSR extracts the owned×owned scalar submatrix (dropping ghost
+// columns) in CSR form, the local block that block-Jacobi preconditioners
+// factor.
+func (m *BSRMat) LocalCSR() (indptr []int32, cols []int32, vals []float64, n int) {
+	if !m.finalized {
+		m.Finalize()
+	}
+	bs := m.Bs
+	n = m.NRowNodes * bs
+	indptr = make([]int32, n+1)
+	bs2 := bs * bs
+	// Count then fill.
+	for r := 0; r < m.NRowNodes; r++ {
+		for j := m.indptr[r]; j < m.indptr[r+1]; j++ {
+			if int(m.cols[j]) < m.NRowNodes {
+				for bi := 0; bi < bs; bi++ {
+					indptr[r*bs+bi+1] += int32(bs)
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		indptr[i+1] += indptr[i]
+	}
+	cols = make([]int32, indptr[n])
+	vals = make([]float64, indptr[n])
+	fill := make([]int32, n)
+	copy(fill, indptr[:n])
+	for r := 0; r < m.NRowNodes; r++ {
+		for j := m.indptr[r]; j < m.indptr[r+1]; j++ {
+			cn := int(m.cols[j])
+			if cn >= m.NRowNodes {
+				continue
+			}
+			blk := m.vals[int(j)*bs2 : int(j+1)*bs2]
+			for bi := 0; bi < bs; bi++ {
+				row := r*bs + bi
+				for bj := 0; bj < bs; bj++ {
+					p := fill[row]
+					cols[p] = int32(cn*bs + bj)
+					vals[p] = blk[bi*bs+bj]
+					fill[row]++
+				}
+			}
+		}
+	}
+	// Column-sort each row (blocks were visited in sorted block order, so
+	// scalar columns are already ascending within the row).
+	return indptr, cols, vals, n
+}
+
+// InvertSmall inverts an n x n row-major matrix in place using Gauss-
+// Jordan with partial pivoting. Returns false if singular. Used for
+// diagonal blocks (n <= 8).
+func InvertSmall(a []float64, n int) bool {
+	inv := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		inv[i*n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r*n+col]) > math.Abs(a[p*n+col]) {
+				p = r
+			}
+		}
+		if a[p*n+col] == 0 {
+			return false
+		}
+		if p != col {
+			for k := 0; k < n; k++ {
+				a[col*n+k], a[p*n+k] = a[p*n+k], a[col*n+k]
+				inv[col*n+k], inv[p*n+k] = inv[p*n+k], inv[col*n+k]
+			}
+		}
+		d := 1 / a[col*n+col]
+		for k := 0; k < n; k++ {
+			a[col*n+k] *= d
+			inv[col*n+k] *= d
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r*n+col]
+			if f == 0 {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				a[r*n+k] -= f * a[col*n+k]
+				inv[r*n+k] -= f * inv[col*n+k]
+			}
+		}
+	}
+	copy(a, inv)
+	return true
+}

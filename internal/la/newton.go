@@ -1,0 +1,118 @@
+package la
+
+import "math"
+
+// NewtonProblem supplies the nonlinear residual and Jacobian for a Newton
+// solve, mirroring the PETSc SNES callbacks. Vectors are full local
+// (owned+ghost); residuals are defined on the owned segment.
+type NewtonProblem interface {
+	// Residual evaluates F(x) into r (owned segment).
+	Residual(x, r []float64)
+	// Jacobian returns the operator and preconditioner for J(x).
+	Jacobian(x []float64) (Operator, PC)
+}
+
+// Newton is a damped Newton-Krylov driver.
+type Newton struct {
+	Red     Reducer
+	KSP     Method  // inner Krylov method
+	Rtol    float64 // relative nonlinear tolerance (default 1e-10, as in the paper)
+	Atol    float64 // absolute nonlinear tolerance (default 1e-10)
+	MaxIt   int     // default 50
+	LinRtol float64 // inner linear relative tolerance (default 1e-8)
+
+	// Iterations and LinearIterations report the last solve's work.
+	Iterations       int
+	LinearIterations int
+}
+
+// Solve drives F(x) = 0 starting from x. Returns true on convergence.
+func (nw *Newton) Solve(p NewtonProblem, x []float64) bool {
+	if nw.Rtol == 0 {
+		nw.Rtol = 1e-10
+	}
+	if nw.Atol == 0 {
+		nw.Atol = 1e-10
+	}
+	if nw.MaxIt == 0 {
+		nw.MaxIt = 50
+	}
+	if nw.LinRtol == 0 {
+		nw.LinRtol = 1e-8
+	}
+	if nw.Red == nil {
+		nw.Red = SerialReducer{}
+	}
+	if nw.KSP == "" {
+		nw.KSP = BiCGS
+	}
+	nw.Iterations, nw.LinearIterations = 0, 0
+
+	norm := func(v []float64, n int) float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += v[i] * v[i]
+		}
+		return math.Sqrt(nw.Red.GlobalSumN([]float64{s})[0])
+	}
+
+	op, pc := p.Jacobian(x)
+	n := op.Rows()
+	full := op.FullLen()
+	r := make([]float64, full)
+	dx := make([]float64, full)
+	xTrial := make([]float64, full)
+	p.Residual(x, r)
+	r0 := norm(r, n)
+	if r0 <= nw.Atol {
+		return true
+	}
+	rprev := r0
+	for it := 0; it < nw.MaxIt; it++ {
+		nw.Iterations = it + 1
+		if it > 0 {
+			op, pc = p.Jacobian(x)
+		}
+		// Solve J dx = -r.
+		rhs := make([]float64, full)
+		for i := 0; i < n; i++ {
+			rhs[i] = -r[i]
+		}
+		for i := range dx {
+			dx[i] = 0
+		}
+		ksp := &KSP{Op: op, PC: pc, Red: nw.Red, Type: nw.KSP, Rtol: nw.LinRtol, Atol: nw.Atol * 1e-2}
+		res := ksp.Solve(rhs, dx)
+		nw.LinearIterations += res.Iterations
+		// Backtracking line search.
+		lambda := 1.0
+		ok := false
+		for ls := 0; ls < 8; ls++ {
+			copy(xTrial, x)
+			for i := 0; i < n; i++ {
+				xTrial[i] += lambda * dx[i]
+			}
+			p.Residual(xTrial, r)
+			rn := norm(r, n)
+			if rn < rprev || rn <= nw.Atol {
+				copy(x, xTrial)
+				rprev = rn
+				ok = true
+				break
+			}
+			lambda /= 2
+		}
+		if !ok {
+			// Accept the full step anyway; stagnation will terminate below.
+			for i := 0; i < n; i++ {
+				x[i] += dx[i]
+			}
+			p.Residual(x, r)
+			rprev = norm(r, n)
+		}
+		if rprev <= nw.Rtol*r0 || rprev <= nw.Atol {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,144 @@
+package mesh
+
+import (
+	"proteus/internal/par"
+)
+
+// Tags for ghost exchange point-to-point traffic (below par's collective
+// range).
+const (
+	tagGhostRead  = 101
+	tagGhostWrite = 102
+)
+
+// NewVec allocates a local vector with ndof unknowns per node (owned
+// followed by ghost), node-major: v[node*ndof+d].
+func (m *Mesh) NewVec(ndof int) []float64 {
+	return make([]float64, m.NumLocal*ndof)
+}
+
+// GhostRead fills the ghost segment of v from the owning ranks, so that
+// every local node value is current. v must have NumLocal*ndof entries.
+// Collective.
+func (m *Mesh) GhostRead(v []float64, ndof int) {
+	c := m.Comm
+	if c.Size() == 1 {
+		return
+	}
+	for _, pl := range m.sendTo {
+		buf := make([]float64, len(pl.idx)*ndof)
+		for k, li := range pl.idx {
+			copy(buf[k*ndof:(k+1)*ndof], v[int(li)*ndof:(int(li)+1)*ndof])
+		}
+		par.SendSlice(c, pl.rank, tagGhostRead, buf)
+	}
+	for range m.recvFrom {
+		buf, src := par.RecvSlice[float64](c, par.AnySource, tagGhostRead)
+		pl := m.peerRecv(src)
+		for k, li := range pl.idx {
+			copy(v[int(li)*ndof:(int(li)+1)*ndof], buf[k*ndof:(k+1)*ndof])
+		}
+	}
+	c.Barrier()
+}
+
+// GhostWrite pushes the ghost segment of v back to the owning ranks,
+// combining each incoming contribution into the owner's value with op
+// (use Add for accumulation, Min/Max for the morphological passes), and
+// then resets the ghost segment to reset. Collective.
+func (m *Mesh) GhostWrite(v []float64, ndof int, op func(own, in float64) float64, reset float64) {
+	c := m.Comm
+	if c.Size() == 1 {
+		return
+	}
+	for _, pl := range m.recvFrom {
+		buf := make([]float64, len(pl.idx)*ndof)
+		for k, li := range pl.idx {
+			copy(buf[k*ndof:(k+1)*ndof], v[int(li)*ndof:(int(li)+1)*ndof])
+			for d := 0; d < ndof; d++ {
+				v[int(li)*ndof+d] = reset
+			}
+		}
+		par.SendSlice(c, pl.rank, tagGhostWrite, buf)
+	}
+	for range m.sendTo {
+		buf, src := par.RecvSlice[float64](c, par.AnySource, tagGhostWrite)
+		pl := m.peerSend(src)
+		for k, li := range pl.idx {
+			for d := 0; d < ndof; d++ {
+				o := int(li)*ndof + d
+				v[o] = op(v[o], buf[k*ndof+d])
+			}
+		}
+	}
+	c.Barrier()
+}
+
+// Add is the accumulation combine for GhostWrite.
+func Add(own, in float64) float64 { return own + in }
+
+// MinOp keeps the smaller value (erosion-style combining).
+func MinOp(own, in float64) float64 {
+	if in < own {
+		return in
+	}
+	return own
+}
+
+// MaxOp keeps the larger value (dilation-style combining).
+func MaxOp(own, in float64) float64 {
+	if in > own {
+		return in
+	}
+	return own
+}
+
+func (m *Mesh) peerRecv(rank int) *peerList {
+	for i := range m.recvFrom {
+		if m.recvFrom[i].rank == rank {
+			return &m.recvFrom[i]
+		}
+	}
+	panic("mesh: unexpected ghost-read source")
+}
+
+func (m *Mesh) peerSend(rank int) *peerList {
+	for i := range m.sendTo {
+		if m.sendTo[i].rank == rank {
+			return &m.sendTo[i]
+		}
+	}
+	panic("mesh: unexpected ghost-write source")
+}
+
+// GlobalSum reduces the sum of an owned-segment quantity across ranks.
+func (m *Mesh) GlobalSum(v float64) float64 {
+	return par.Allreduce(m.Comm, v, func(a, b float64) float64 { return a + b })
+}
+
+// GlobalSumN element-wise sums a small vector across ranks (implements
+// la.Reducer).
+func (m *Mesh) GlobalSumN(vals []float64) []float64 {
+	return par.AllreduceSlice(m.Comm, vals, func(a, b float64) float64 { return a + b })
+}
+
+// GlobalMax reduces the maximum across ranks.
+func (m *Mesh) GlobalMax(v float64) float64 {
+	return par.Allreduce(m.Comm, v, func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// Dot returns the global inner product of the owned segments of a and b
+// (ndof-agnostic: pass slices covering NumOwned*ndof entries).
+func (m *Mesh) Dot(a, b []float64, ndof int) float64 {
+	var s float64
+	n := m.NumOwned * ndof
+	for i := 0; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return m.GlobalSum(s)
+}

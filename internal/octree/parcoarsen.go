@@ -1,0 +1,106 @@
+package octree
+
+import (
+	"sort"
+
+	"proteus/internal/par"
+	"proteus/internal/sfc"
+)
+
+// ParCoarsen coarsens a distributed, globally sorted forest by arbitrarily
+// many levels (Algorithm 7 of the paper). targets[i] is the coarsest
+// acceptable level for local leaf i.
+//
+// The structure follows Alg. 7: candidate coarse octants at partition
+// endpoints (the most aggressive coarsening the tail leaf allows) are
+// published; inputs overlapped by a remote candidate are repartitioned to
+// the rank owning the candidate's start — generalizing the paper's
+// head/tail send_recv, since the allgathered candidate table directly
+// resolves the "rare case" of a candidate spanning several partitions
+// that the paper handles with a distributed exponential search — and a
+// local consensus pass (Alg. 6) then yields the global result in one
+// shot. Coarsening is conservative: a parent is only emitted when every
+// one of its child subtrees is present and consents, so the result never
+// overlaps across ranks.
+//
+// The returned leaves remain globally sorted; counts may become uneven, so
+// callers typically repartition afterwards.
+func ParCoarsen(c *par.Comm, dim int, leaves []sfc.Octant, targets []int) []sfc.Octant {
+	if c.Size() == 1 {
+		t := &Tree{Dim: dim, Leaves: leaves}
+		return t.Coarsen(targets).Leaves
+	}
+	type cand struct {
+		Region sfc.Octant
+		Has    bool
+	}
+	var mine cand
+	if len(leaves) > 0 {
+		last := leaves[len(leaves)-1]
+		lvl := targets[len(leaves)-1]
+		if lvl < 0 {
+			lvl = 0
+		}
+		mine = cand{last.Ancestor(lvl), true}
+	}
+	spl := GatherSplitters(c, leaves)
+	cands := par.Allgather(c, mine)
+
+	// Assign every local leaf its collector: the lowest rank owning the
+	// start of any candidate region that overlaps the leaf.
+	type item struct {
+		Oct    sfc.Octant
+		Target int
+	}
+	collector := make([]int, len(leaves))
+	for i := range collector {
+		collector[i] = c.Rank()
+	}
+	for _, cd := range cands {
+		if !cd.Has {
+			continue
+		}
+		col := spl.Owner(cd.Region.FirstDescendant())
+		lo, hi := (&Tree{Dim: dim, Leaves: leaves}).OverlapRange(cd.Region)
+		for j := lo; j < hi; j++ {
+			if col < collector[j] {
+				collector[j] = col
+			}
+		}
+	}
+	perRank := make(map[int][]item)
+	var kept []item
+	for i, o := range leaves {
+		it := item{o, targets[i]}
+		if collector[i] != c.Rank() {
+			perRank[collector[i]] = append(perRank[collector[i]], it)
+		} else {
+			kept = append(kept, it)
+		}
+	}
+	dests := make([]int, 0, len(perRank))
+	bufs := make([][]item, 0, len(perRank))
+	for r, b := range perRank {
+		dests = append(dests, r)
+		bufs = append(bufs, b)
+	}
+	srcs, recvd := par.NBXExchange(c, dests, bufs)
+	// Append received batches in source-rank order: sources hold higher,
+	// contiguous SFC ranges, so concatenation preserves global order.
+	idx := make([]int, len(srcs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return srcs[idx[a]] < srcs[idx[b]] })
+	for _, k := range idx {
+		kept = append(kept, recvd[k]...)
+	}
+	octs := make([]sfc.Octant, len(kept))
+	tgts := make([]int, len(kept))
+	for i, it := range kept {
+		octs[i] = it.Oct
+		tgts[i] = it.Target
+	}
+	t := &Tree{Dim: dim, Leaves: octs}
+	return t.Coarsen(tgts).Leaves
+}

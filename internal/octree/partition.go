@@ -1,0 +1,187 @@
+package octree
+
+import (
+	"sort"
+
+	"proteus/internal/dsort"
+	"proteus/internal/par"
+	"proteus/internal/sfc"
+)
+
+// Splitters is the global partition table of a distributed forest: the
+// first leaf of every non-empty rank. It answers ownership queries for
+// ghost exchange, distributed balancing and inter-grid transfer.
+type Splitters struct {
+	size   int
+	firsts []sfc.Octant // first leaf per rank (undefined where !has)
+	has    []bool
+}
+
+// GatherSplitters allgathers the partition table of the distributed,
+// globally sorted leaf array.
+func GatherSplitters(c *par.Comm, leaves []sfc.Octant) Splitters {
+	type entry struct {
+		First sfc.Octant
+		Has   bool
+	}
+	var e entry
+	if len(leaves) > 0 {
+		e = entry{leaves[0], true}
+	}
+	all := par.Allgather(c, e)
+	s := Splitters{size: c.Size(), firsts: make([]sfc.Octant, c.Size()), has: make([]bool, c.Size())}
+	for r, v := range all {
+		s.firsts[r], s.has[r] = v.First, v.Has
+	}
+	return s
+}
+
+// Owner returns the rank whose leaf range contains the deepest-level point
+// key q (compare with the first-descendant key of a leaf to locate it).
+func (s Splitters) Owner(q sfc.Octant) int {
+	owner := 0
+	for r := 0; r < s.size; r++ {
+		if !s.has[r] {
+			continue
+		}
+		if sfc.Compare(s.firsts[r], q) <= 0 || s.firsts[r].IsAncestorOf(q) {
+			owner = r
+		} else {
+			break
+		}
+	}
+	return owner
+}
+
+// RangeOwners returns every rank whose leaf range may intersect the region
+// covered by octant q (the Morton interval [q, q.LastDescendant]).
+func (s Splitters) RangeOwners(q sfc.Octant) []int {
+	lo := s.Owner(q.FirstDescendant())
+	hi := s.Owner(q.LastDescendant())
+	var out []int
+	for r := lo; r <= hi; r++ {
+		if s.has[r] || r == lo {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PartitionWeighted redistributes the globally sorted leaves so that each
+// rank receives a contiguous SFC range of approximately equal total
+// weight, preserving global order. weights may be nil for unit weights.
+// This is the standard SFC-partitioning step run after every remesh.
+func PartitionWeighted(c *par.Comm, leaves []sfc.Octant, weights []float64) []sfc.Octant {
+	p := c.Size()
+	w := weights
+	if w == nil {
+		w = make([]float64, len(leaves))
+		for i := range w {
+			w[i] = 1
+		}
+	}
+	var localW float64
+	for _, v := range w {
+		localW += v
+	}
+	myOff := par.Exscan(c, localW, 0, func(a, b float64) float64 { return a + b })
+	totalW := par.Allreduce(c, localW, func(a, b float64) float64 { return a + b })
+	if totalW == 0 {
+		return leaves
+	}
+	bufs := make([][]sfc.Octant, p)
+	prefix := myOff
+	for i, o := range leaves {
+		mid := prefix + w[i]/2
+		r := int(mid / totalW * float64(p))
+		if r >= p {
+			r = p - 1
+		}
+		if r < 0 {
+			r = 0
+		}
+		bufs[r] = append(bufs[r], o)
+		prefix += w[i]
+	}
+	got := par.Alltoallv(c, bufs)
+	var out []sfc.Octant
+	for r := 0; r < p; r++ {
+		out = append(out, got[r]...)
+	}
+	return out
+}
+
+// SortDistributed globally sorts and linearizes distributed leaves using
+// the staged distributed sample sort, then removes cross-rank overlaps.
+func SortDistributed(c *par.Comm, leaves []sfc.Octant, opt SortOptions) []sfc.Octant {
+	sorted := distSort(c, leaves, opt)
+	// Local linearization.
+	t := &Tree{Dim: dimOf(sorted), Leaves: sorted}
+	t.Linearize()
+	sorted = t.Leaves
+	// Cross-rank overlap removal: an ancestor at the tail of rank r can
+	// overlap the head of rank r+1; boundary exchange resolves it keeping
+	// the finer octant.
+	return removeBoundaryOverlaps(c, sorted)
+}
+
+// SortOptions configures distributed sorting of octants.
+type SortOptions struct {
+	KWay int  // superpartitions per stage (0 = par.DefaultKWay)
+	Flat bool // use the flat baseline instead of the staged sort
+}
+
+func distSort(c *par.Comm, leaves []sfc.Octant, opt SortOptions) []sfc.Octant {
+	if c.Size() == 1 {
+		sfc.Sort(leaves)
+		return leaves
+	}
+	return dsort.Sort(c, leaves, sfc.Less, dsort.Options{KWay: opt.KWay, Flat: opt.Flat})
+}
+
+func dimOf(leaves []sfc.Octant) int {
+	if len(leaves) == 0 {
+		return 3
+	}
+	return int(leaves[0].Dim)
+}
+
+// removeBoundaryOverlaps drops local leaves that are ancestors of (or equal
+// to) leaves on higher ranks. Each rank sends its first leaf downward; a
+// chain of coarser ancestors spanning several ranks is resolved because the
+// allgathered heads expose every rank's first leaf.
+func removeBoundaryOverlaps(c *par.Comm, leaves []sfc.Octant) []sfc.Octant {
+	type entry struct {
+		First sfc.Octant
+		Has   bool
+	}
+	var e entry
+	if len(leaves) > 0 {
+		e = entry{leaves[0], true}
+	}
+	all := par.Allgather(c, e)
+	// Drop trailing local leaves overlapped by any later rank's head.
+	for r := c.Rank() + 1; r < c.Size(); r++ {
+		if !all[r].Has {
+			continue
+		}
+		head := all[r].First
+		for len(leaves) > 0 {
+			tail := leaves[len(leaves)-1]
+			if tail.Overlaps(head) && tail.Level <= head.Level && !tail.EqualKey(head) {
+				leaves = leaves[:len(leaves)-1]
+			} else if tail.EqualKey(head) {
+				leaves = leaves[:len(leaves)-1]
+			} else {
+				break
+			}
+		}
+		break // only the immediately following non-empty rank can matter
+	}
+	return leaves
+}
+
+// sortLocal sorts a batch of octants locally (helper shared by tests).
+func sortLocal(leaves []sfc.Octant) {
+	sort.Slice(leaves, func(i, j int) bool { return sfc.Less(leaves[i], leaves[j]) })
+}

@@ -1,0 +1,91 @@
+package octree
+
+import (
+	"fmt"
+	"sort"
+
+	"proteus/internal/sfc"
+)
+
+// Refine replaces each leaf by its descendants at the requested level in a
+// single pass (Algorithm 5 of the paper): the SFC-order recursion over each
+// leaf's subtree emits descendants already sorted, so no re-sort is needed
+// regardless of how many levels each leaf is refined by. Leaves whose
+// target is at or below their current level are kept unchanged (use
+// Coarsen to go coarser). Descendants rejected by retain — void octants of
+// incomplete domains — are discarded.
+//
+// targets must have one entry per leaf.
+func (t *Tree) Refine(targets []int, retain RetainFn) *Tree {
+	if len(targets) != len(t.Leaves) {
+		panic(fmt.Sprintf("octree.Refine: %d targets for %d leaves", len(targets), len(t.Leaves)))
+	}
+	out := make([]sfc.Octant, 0, len(t.Leaves))
+	var emit func(o sfc.Octant, target int)
+	emit = func(o sfc.Octant, target int) {
+		if retain != nil && !retain(o) {
+			return
+		}
+		if int(o.Level) >= target {
+			out = append(out, o)
+			return
+		}
+		for c := 0; c < o.NumChildren(); c++ {
+			emit(o.Child(c), target)
+		}
+	}
+	for i, leaf := range t.Leaves {
+		target := targets[i]
+		if target > sfc.MaxLevel {
+			target = sfc.MaxLevel
+		}
+		emit(leaf, target)
+	}
+	return &Tree{Dim: t.Dim, Leaves: out}
+}
+
+// RefineLevelByLevel is the baseline the paper improves upon: octants are
+// refined a single level per pass, with a full sort-and-linearize between
+// passes, until every leaf reaches its target. The extra passes and sorts
+// are the overhead Alg. 5 eliminates.
+func (t *Tree) RefineLevelByLevel(targets []int, retain RetainFn) *Tree {
+	type job struct {
+		oct    sfc.Octant
+		target int
+	}
+	jobs := make([]job, len(t.Leaves))
+	for i, o := range t.Leaves {
+		jobs[i] = job{o, targets[i]}
+	}
+	for {
+		changed := false
+		next := make([]job, 0, len(jobs))
+		for _, j := range jobs {
+			if int(j.oct.Level) >= j.target {
+				next = append(next, j)
+				continue
+			}
+			changed = true
+			for c := 0; c < j.oct.NumChildren(); c++ {
+				ch := j.oct.Child(c)
+				if retain != nil && !retain(ch) {
+					continue
+				}
+				next = append(next, job{ch, j.target})
+			}
+		}
+		// The level-by-level scheme re-linearizes after every pass; this
+		// sort is the cost being measured, so it is performed even though
+		// the pass preserves order.
+		sort.Slice(next, func(i, j int) bool { return sfc.Less(next[i].oct, next[j].oct) })
+		jobs = next
+		if !changed {
+			break
+		}
+	}
+	out := make([]sfc.Octant, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.oct
+	}
+	return &Tree{Dim: t.Dim, Leaves: out}
+}

@@ -1,0 +1,296 @@
+package sfc
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// randOctant returns a valid random octant in dim dimensions.
+func randOctant(r *rand.Rand, dim int) Octant {
+	level := r.Intn(MaxLevel + 1)
+	o := Root(dim)
+	for l := 0; l < level; l++ {
+		o = o.Child(r.Intn(o.NumChildren()))
+	}
+	return o
+}
+
+func TestRootProperties(t *testing.T) {
+	for _, dim := range []int{2, 3} {
+		r := Root(dim)
+		if r.Level != 0 || r.Side() != MaxCoord {
+			t.Fatalf("dim %d: bad root %v", dim, r)
+		}
+		if !r.Valid() {
+			t.Fatalf("dim %d: root invalid", dim)
+		}
+		if r.Parent() != r {
+			t.Fatalf("dim %d: parent of root must be root", dim)
+		}
+	}
+}
+
+func TestChildParentRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, dim := range []int{2, 3} {
+		for iter := 0; iter < 2000; iter++ {
+			o := randOctant(r, dim)
+			if o.Level == MaxLevel {
+				continue
+			}
+			for c := 0; c < o.NumChildren(); c++ {
+				ch := o.Child(c)
+				if ch.Parent() != o {
+					t.Fatalf("child %d of %v: parent %v", c, o, ch.Parent())
+				}
+				if ch.ChildIndex() != c {
+					t.Fatalf("child %d of %v: index %d", c, o, ch.ChildIndex())
+				}
+				if !o.IsAncestorOf(ch) {
+					t.Fatalf("%v not ancestor of child %v", o, ch)
+				}
+				if !o.Overlaps(ch) || !ch.Overlaps(o) {
+					t.Fatalf("overlap not symmetric for %v, %v", o, ch)
+				}
+			}
+		}
+	}
+}
+
+func TestAncestorLevels(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 1000; iter++ {
+		o := randOctant(r, 3)
+		for l := 0; l <= int(o.Level); l++ {
+			a := o.Ancestor(l)
+			if int(a.Level) != l {
+				t.Fatalf("ancestor level %d got %d", l, a.Level)
+			}
+			if l < int(o.Level) && !a.IsAncestorOf(o) {
+				t.Fatalf("%v not ancestor of %v", a, o)
+			}
+			if !a.ContainsPoint(o.X, o.Y, o.Z) {
+				t.Fatalf("%v does not contain anchor of %v", a, o)
+			}
+		}
+	}
+}
+
+func TestCompareMatchesMortonIndex(t *testing.T) {
+	// For equal-level octants, Compare must agree with interleaved Morton
+	// codes — this validates the MSB-XOR trick against the ground truth.
+	r := rand.New(rand.NewSource(3))
+	for _, dim := range []int{2, 3} {
+		for iter := 0; iter < 5000; iter++ {
+			a := randOctant(r, dim)
+			b := randOctant(r, dim)
+			ma, mb := MortonIndex(a), MortonIndex(b)
+			cmp := Compare(a, b)
+			switch {
+			case ma < mb:
+				if cmp >= 0 {
+					t.Fatalf("dim %d: %v < %v by Morton but Compare=%d", dim, a, b, cmp)
+				}
+			case ma > mb:
+				if cmp <= 0 {
+					t.Fatalf("dim %d: %v > %v by Morton but Compare=%d", dim, a, b, cmp)
+				}
+			default:
+				// Same anchor path: coarser must come first.
+				if (a.Level < b.Level) != (cmp < 0) && a.Level != b.Level {
+					t.Fatalf("dim %d: tie-break wrong for %v vs %v: %d", dim, a, b, cmp)
+				}
+			}
+		}
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 3000}
+	r := rand.New(rand.NewSource(4))
+	err := quick.Check(func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b, c := randOctant(rr, 3), randOctant(rr, 3), randOctant(rr, 3)
+		// Antisymmetry.
+		if Compare(a, b) != -Compare(b, a) {
+			return false
+		}
+		// Transitivity.
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			return false
+		}
+		// Reflexivity.
+		return Compare(a, a) == 0
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestAncestorsPrecedeDescendants(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 2000; iter++ {
+		o := randOctant(r, 3)
+		if o.Level == 0 {
+			continue
+		}
+		a := o.Ancestor(r.Intn(int(o.Level)))
+		if !Less(a, o) {
+			t.Fatalf("ancestor %v must precede %v", a, o)
+		}
+	}
+}
+
+func TestDescendantRangeContiguity(t *testing.T) {
+	// All descendants of an octant form a contiguous Morton range
+	// [o, o.LastDescendant]; any octant outside the subtree sorts outside.
+	r := rand.New(rand.NewSource(6))
+	for iter := 0; iter < 2000; iter++ {
+		o := randOctant(r, 2)
+		d := randOctant(r, 2)
+		last := o.LastDescendant()
+		inRange := Compare(o, d) <= 0 && Compare(d, last) <= 0
+		isDesc := o.EqualKey(d) || o.IsAncestorOf(d)
+		if isDesc && !inRange {
+			t.Fatalf("descendant %v of %v outside range", d, o)
+		}
+		if !isDesc && inRange && !d.IsAncestorOf(o) {
+			t.Fatalf("non-descendant %v of %v inside range", d, o)
+		}
+	}
+}
+
+func TestNeighborGeometry(t *testing.T) {
+	o := New(3, 0, 0, 0, 2) // corner octant
+	var ns []Octant
+	ns = o.AllNeighbors(ns)
+	if len(ns) != 7 {
+		t.Fatalf("corner octant should have 7 neighbours, got %d", len(ns))
+	}
+	// Interior octant has 26 neighbours in 3D.
+	side := o.Side()
+	in := New(3, side, side, side, 2)
+	ns = in.AllNeighbors(ns[:0])
+	if len(ns) != 26 {
+		t.Fatalf("interior 3D octant should have 26 neighbours, got %d", len(ns))
+	}
+	// 2D interior octant has 8.
+	q := New(2, side, side, 0, 2)
+	ns = q.AllNeighbors(ns[:0])
+	if len(ns) != 8 {
+		t.Fatalf("interior 2D octant should have 8 neighbours, got %d", len(ns))
+	}
+}
+
+func TestNeighborSymmetry(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 500; iter++ {
+		o := randOctant(r, 3)
+		var ns []Octant
+		for _, n := range o.AllNeighbors(ns) {
+			found := false
+			var back []Octant
+			for _, m := range n.AllNeighbors(back) {
+				if m.EqualKey(o) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("neighbour relation not symmetric: %v, %v", o, n)
+			}
+		}
+	}
+}
+
+func TestHilbertIndexBijective(t *testing.T) {
+	// At a fixed coarse level, Hilbert indices of all octants must be a
+	// permutation with unit step count (each consecutive pair of indices
+	// corresponds to adjacent cells — the defining locality property).
+	const level = 3
+	var octs []Octant
+	var rec func(o Octant)
+	rec = func(o Octant) {
+		if int(o.Level) == level {
+			octs = append(octs, o)
+			return
+		}
+		for c := 0; c < o.NumChildren(); c++ {
+			rec(o.Child(c))
+		}
+	}
+	rec(Root(2))
+	seen := map[uint64]bool{}
+	for _, o := range octs {
+		h := HilbertIndex(o)
+		if seen[h] {
+			t.Fatalf("duplicate Hilbert index %d", h)
+		}
+		seen[h] = true
+	}
+	// Sort by Hilbert index and check adjacency of consecutive cells.
+	sort.Slice(octs, func(i, j int) bool { return HilbertIndex(octs[i]) < HilbertIndex(octs[j]) })
+	for i := 1; i < len(octs); i++ {
+		a, b := octs[i-1], octs[i]
+		dx := absDiff(a.X, b.X)
+		dy := absDiff(a.Y, b.Y)
+		if dx+dy != a.Side() {
+			t.Fatalf("Hilbert order not face-continuous at %d: %v -> %v", i, a, b)
+		}
+	}
+}
+
+func absDiff(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestCommonAncestor(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 2000; iter++ {
+		a, b := randOctant(r, 3), randOctant(r, 3)
+		ca := CommonAncestor(a, b)
+		for _, o := range []Octant{a, b} {
+			if !ca.EqualKey(o) && !ca.IsAncestorOf(o) {
+				t.Fatalf("CommonAncestor(%v,%v)=%v does not cover %v", a, b, ca, o)
+			}
+		}
+		// Deepest: child of ca containing a must not contain b (unless ca
+		// is already one of them).
+		if int(ca.Level) < MaxLevel && !ca.EqualKey(a) && !ca.EqualKey(b) {
+			ax := a.Ancestor(int(ca.Level) + 1)
+			bx := b.Ancestor(int(ca.Level) + 1)
+			if ax.EqualKey(bx) {
+				t.Fatalf("CommonAncestor(%v,%v)=%v not deepest", a, b, ca)
+			}
+		}
+	}
+}
+
+func TestSortIsSorted(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	octs := make([]Octant, 500)
+	for i := range octs {
+		octs[i] = randOctant(r, 3)
+	}
+	Sort(octs)
+	if !IsSorted(octs) {
+		t.Fatal("Sort did not sort")
+	}
+}
+
+func TestContainsPoint(t *testing.T) {
+	o := New(2, 0, 0, 0, 1) // lower-left quadrant
+	half := MaxCoord / 2
+	if !o.ContainsPoint(0, 0, 0) || !o.ContainsPoint(half-1, half-1, 0) {
+		t.Fatal("quadrant must contain interior points")
+	}
+	if o.ContainsPoint(half, 0, 0) || o.ContainsPoint(0, half, 0) {
+		t.Fatal("quadrant must not contain far-edge points")
+	}
+}

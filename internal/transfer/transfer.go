@@ -1,0 +1,359 @@
+// Package transfer implements distributed multi-level inter-grid transfer
+// (Saurabh et al. IPDPS 2023, Sec. II-C2): after a remesh changes element
+// levels by arbitrarily many levels in one step, nodal fields move from
+// the old grid to the new one in a single pass, with no intermediate
+// one-level grids.
+//
+// Coarse-to-fine transfer evaluates the old element's linear field at each
+// new node; fine-to-coarse transfer injects (samples) the old field at the
+// coarse node locations — both reduce to "evaluate the old field at a
+// point", so a single key-addressed evaluation service implements the
+// whole transfer. Distributed operation follows the paper's four steps:
+// locate the owner of each query point in the old grid's splitter table,
+// ship the detached node keys, evaluate locally, and return the values to
+// the requesting rank (NBX sparse exchanges both ways).
+package transfer
+
+import (
+	"fmt"
+
+	"proteus/internal/mesh"
+	"proteus/internal/octree"
+	"proteus/internal/par"
+	"proteus/internal/sfc"
+)
+
+// Nodal transfers a nodal field (ndof unknowns per node) from oldM to
+// newM, which must cover the same domain. Returns a full local vector on
+// newM. Collective.
+func Nodal(oldM *mesh.Mesh, oldVec []float64, newM *mesh.Mesh, ndof int) []float64 {
+	c := oldM.Comm
+	oldM.GhostRead(oldVec, ndof)
+	oldTree := &octree.Tree{Dim: oldM.Dim, Leaves: oldM.Elems}
+	spl := octree.GatherSplitters(c, oldM.Elems)
+	out := newM.NewVec(ndof)
+
+	eval := newEvaluator(oldM, oldTree, oldVec, ndof)
+
+	// Partition owned new nodes into locally evaluable and remote queries.
+	type query struct {
+		Key mesh.NodeKey
+	}
+	perRank := map[int][]query{}
+	perRankIdx := map[int][]int{}
+	for i := 0; i < newM.NumOwned; i++ {
+		k := newM.Keys[i]
+		if eval.tryLocal(k, out[i*ndof:(i+1)*ndof]) {
+			continue
+		}
+		r := ownerOfKey(spl, oldM.Dim, k)
+		perRank[r] = append(perRank[r], query{k})
+		perRankIdx[r] = append(perRankIdx[r], i)
+	}
+	if c.Size() > 1 {
+		dests := make([]int, 0, len(perRank))
+		bufs := make([][]query, 0, len(perRank))
+		for r, qs := range perRank {
+			dests = append(dests, r)
+			bufs = append(bufs, qs)
+		}
+		srcs, recvd := par.NBXExchange(c, dests, bufs)
+		// Evaluate remote queries and reply.
+		rdests := make([]int, 0, len(srcs))
+		rbufs := make([][]float64, 0, len(srcs))
+		for i, batch := range recvd {
+			vals := make([]float64, len(batch)*ndof)
+			for q, qu := range batch {
+				if !eval.tryLocal(qu.Key, vals[q*ndof:(q+1)*ndof]) {
+					panic(fmt.Sprintf("transfer: rank %d cannot evaluate %v for rank %d", c.Rank(), qu.Key, srcs[i]))
+				}
+			}
+			rdests = append(rdests, srcs[i])
+			rbufs = append(rbufs, vals)
+		}
+		rsrcs, replies := par.NBXExchange(c, rdests, rbufs)
+		for i, src := range rsrcs {
+			idxs := perRankIdx[src]
+			vals := replies[i]
+			if len(vals) != len(idxs)*ndof {
+				panic("transfer: reply length mismatch")
+			}
+			for q, li := range idxs {
+				copy(out[li*ndof:(li+1)*ndof], vals[q*ndof:(q+1)*ndof])
+			}
+		}
+	} else if len(perRank) > 0 {
+		panic("transfer: unevaluable node on single rank")
+	}
+	newM.GhostRead(out, ndof)
+	return out
+}
+
+// evaluator evaluates the old field at arbitrary grid points.
+type evaluator struct {
+	m    *mesh.Mesh
+	tree *octree.Tree
+	vec  []float64
+	ndof int
+	buf  []float64
+}
+
+func newEvaluator(m *mesh.Mesh, tree *octree.Tree, vec []float64, ndof int) *evaluator {
+	return &evaluator{m: m, tree: tree, vec: vec, ndof: ndof,
+		buf: make([]float64, m.CornersPerElem()*ndof)}
+}
+
+// tryLocal evaluates the field at grid point k into dst if a local old
+// element contains it (with boundary clamping).
+func (ev *evaluator) tryLocal(k mesh.NodeKey, dst []float64) bool {
+	x, y, z := clampKey(ev.m.Dim, k)
+	e := ev.tree.PointLocate(x, y, z)
+	if e < 0 {
+		return false
+	}
+	ev.m.GatherElem(e, ev.vec, ev.ndof, ev.buf)
+	o := ev.m.Elems[e]
+	s := float64(o.Side())
+	// Unit-cell coordinates of the query point.
+	var xi [3]float64
+	xi[0] = (float64(k.X) - float64(o.X)) / s
+	xi[1] = (float64(k.Y) - float64(o.Y)) / s
+	if ev.m.Dim == 3 {
+		xi[2] = (float64(k.Z) - float64(o.Z)) / s
+	}
+	npe := ev.m.CornersPerElem()
+	for d := 0; d < ev.ndof; d++ {
+		var v float64
+		for a := 0; a < npe; a++ {
+			w := 1.0
+			for dim := 0; dim < ev.m.Dim; dim++ {
+				if (a>>dim)&1 == 1 {
+					w *= xi[dim]
+				} else {
+					w *= 1 - xi[dim]
+				}
+			}
+			v += w * ev.buf[a*ev.ndof+d]
+		}
+		dst[d] = v
+	}
+	return true
+}
+
+func clampKey(dim int, k mesh.NodeKey) (x, y, z uint32) {
+	x, y, z = k.X, k.Y, k.Z
+	if x >= sfc.MaxCoord {
+		x = sfc.MaxCoord - 1
+	}
+	if y >= sfc.MaxCoord {
+		y = sfc.MaxCoord - 1
+	}
+	if dim == 3 && z >= sfc.MaxCoord {
+		z = sfc.MaxCoord - 1
+	}
+	return
+}
+
+func ownerOfKey(spl octree.Splitters, dim int, k mesh.NodeKey) int {
+	x, y, z := clampKey(dim, k)
+	q := sfc.Octant{X: x, Y: y, Z: z, Level: sfc.MaxLevel, Dim: uint8(dim)}
+	return spl.Owner(q)
+}
+
+// CellCentered transfers per-element values from the old distributed
+// forest to the new one: a new element contained in an old element copies
+// its value; a new element covering several old elements takes their
+// volume-weighted average. Collective.
+func CellCentered(c *par.Comm, dim int, oldElems []sfc.Octant, oldVals []float64, newElems []sfc.Octant) []float64 {
+	spl := octree.GatherSplitters(c, oldElems)
+	oldTree := &octree.Tree{Dim: dim, Leaves: oldElems}
+	out := make([]float64, len(newElems))
+
+	type query struct {
+		Oct sfc.Octant
+	}
+	perRank := map[int][]query{}
+	perRankIdx := map[int][]int{}
+	acc := make([]float64, len(newElems)) // accumulated weighted values
+	wgt := make([]float64, len(newElems))
+
+	// accumulate adds old-elements overlapping q into (val, weight).
+	accumulate := func(q sfc.Octant) (float64, float64, bool) {
+		lo, hi := oldTree.OverlapRange(q)
+		if lo >= hi {
+			return 0, 0, false
+		}
+		var v, w float64
+		for i := lo; i < hi; i++ {
+			o := oldTree.Leaves[i]
+			// Weight by the overlap volume fraction.
+			side := o.Side()
+			if side > q.Side() {
+				side = q.Side()
+			}
+			vol := 1.0
+			for d := 0; d < dim; d++ {
+				vol *= float64(side)
+			}
+			v += oldVals[i] * vol
+			w += vol
+		}
+		return v, w, true
+	}
+
+	for e, q := range newElems {
+		// Which ranks hold old elements overlapping q?
+		owners := spl.RangeOwners(q)
+		local := false
+		for _, r := range owners {
+			if r == c.Rank() {
+				local = true
+			}
+		}
+		if local {
+			v, w, ok := accumulate(q)
+			if ok {
+				acc[e] += v
+				wgt[e] += w
+			}
+		}
+		for _, r := range owners {
+			if r != c.Rank() {
+				perRank[r] = append(perRank[r], query{q})
+				perRankIdx[r] = append(perRankIdx[r], e)
+			}
+		}
+	}
+	if c.Size() > 1 {
+		dests := make([]int, 0, len(perRank))
+		bufs := make([][]query, 0, len(perRank))
+		for r, qs := range perRank {
+			dests = append(dests, r)
+			bufs = append(bufs, qs)
+		}
+		srcs, recvd := par.NBXExchange(c, dests, bufs)
+		rdests := make([]int, 0, len(srcs))
+		rbufs := make([][]float64, 0, len(srcs))
+		for i, batch := range recvd {
+			vals := make([]float64, 2*len(batch))
+			for qi, qu := range batch {
+				v, w, _ := accumulate(qu.Oct)
+				vals[2*qi] = v
+				vals[2*qi+1] = w
+			}
+			rdests = append(rdests, srcs[i])
+			rbufs = append(rbufs, vals)
+		}
+		rsrcs, replies := par.NBXExchange(c, rdests, rbufs)
+		for i, src := range rsrcs {
+			idxs := perRankIdx[src]
+			vals := replies[i]
+			for qi, e := range idxs {
+				acc[e] += vals[2*qi]
+				wgt[e] += vals[2*qi+1]
+			}
+		}
+	}
+	for e := range out {
+		if wgt[e] > 0 {
+			out[e] = acc[e] / wgt[e]
+		}
+	}
+	return out
+}
+
+// NodalLevelByLevel is the ablation baseline: the transfer walks through
+// intermediate grids one level at a time, rebuilding a mesh per level —
+// the overhead the single-pass multi-level transfer eliminates. Serial
+// only (rank count 1), sufficient for the Table I "Remesh" comparison.
+func NodalLevelByLevel(oldM *mesh.Mesh, oldVec []float64, newTree *octree.Tree, ndof int) ([]float64, *mesh.Mesh, int) {
+	if oldM.Comm.Size() != 1 {
+		panic("transfer.NodalLevelByLevel: serial baseline only")
+	}
+	curM := oldM
+	curVec := oldVec
+	passes := 0
+	for {
+		// Compute per-element one-level targets toward the new tree.
+		curTree := &octree.Tree{Dim: curM.Dim, Leaves: curM.Elems}
+		targets := make([]int, len(curTree.Leaves))
+		done := true
+		for i, o := range curTree.Leaves {
+			finest := newTree.FinestOverlappingLevel(o)
+			lvl := int(o.Level)
+			switch {
+			case finest > lvl:
+				targets[i] = lvl + 1
+				done = false
+			case finest < lvl && coarsenable(newTree, o):
+				targets[i] = lvl - 1
+				done = false
+			default:
+				targets[i] = lvl
+			}
+		}
+		if done {
+			return curVec, curM, passes
+		}
+		next := curTree.Refine(refineOnly(targets, curTree), nil)
+		next = next.Coarsen(coarsenTargets(targets, curTree, next))
+		next = next.Balance21(nil)
+		nm := mesh.New(curM.Comm, curM.Dim, next.Leaves)
+		curVec = Nodal(curM, curVec, nm, ndof)
+		curM = nm
+		passes++
+		if passes > sfc.MaxLevel {
+			panic("transfer.NodalLevelByLevel: did not converge to target tree")
+		}
+	}
+}
+
+func coarsenable(newTree *octree.Tree, o sfc.Octant) bool {
+	// o may coarsen one level iff the new tree is strictly coarser over
+	// o's whole parent region.
+	if o.Level == 0 {
+		return false
+	}
+	parent := o.Parent()
+	lo, hi := newTree.OverlapRange(parent)
+	for i := lo; i < hi; i++ {
+		if int(newTree.Leaves[i].Level) >= int(o.Level) {
+			return false
+		}
+	}
+	return hi > lo
+}
+
+func refineOnly(targets []int, t *octree.Tree) []int {
+	out := make([]int, len(targets))
+	for i, o := range t.Leaves {
+		out[i] = int(o.Level)
+		if targets[i] > out[i] {
+			out[i] = targets[i]
+		}
+	}
+	return out
+}
+
+func coarsenTargets(targets []int, oldT, newT *octree.Tree) []int {
+	// Map old per-element coarsening wishes onto the refined tree.
+	out := make([]int, len(newT.Leaves))
+	for i, o := range newT.Leaves {
+		out[i] = int(o.Level)
+	}
+	j := 0
+	for i, o := range oldT.Leaves {
+		if targets[i] >= int(o.Level) {
+			// Skip the descendants in newT.
+			for j < len(newT.Leaves) && o.Overlaps(newT.Leaves[j]) {
+				j++
+			}
+			continue
+		}
+		for j < len(newT.Leaves) && o.Overlaps(newT.Leaves[j]) {
+			out[j] = targets[i]
+			j++
+		}
+	}
+	return out
+}

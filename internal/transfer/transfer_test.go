@@ -1,0 +1,183 @@
+package transfer
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"proteus/internal/mesh"
+	"proteus/internal/octree"
+	"proteus/internal/par"
+	"proteus/internal/sfc"
+)
+
+func scatterLeaves(t *octree.Tree, rank, p int) []sfc.Octant {
+	n := t.Len()
+	lo, hi := rank*n/p, (rank+1)*n/p
+	out := make([]sfc.Octant, hi-lo)
+	copy(out, t.Leaves[lo:hi])
+	return out
+}
+
+// discTree refines inside a disc to `fine`, `base` elsewhere, balanced.
+func discTree(dim, base, fine int, cx, cy, r float64) *octree.Tree {
+	return octree.Build(dim, func(o sfc.Octant) bool {
+		if int(o.Level) < base {
+			return true
+		}
+		if int(o.Level) >= fine {
+			return false
+		}
+		s := float64(o.Side()) / float64(sfc.MaxCoord)
+		x := float64(o.X)/float64(sfc.MaxCoord) + s/2
+		y := float64(o.Y)/float64(sfc.MaxCoord) + s/2
+		return math.Hypot(x-cx, y-cy) < r
+	}, fine, nil).Balance21(nil)
+}
+
+func TestNodalTransferExactForLinearFields(t *testing.T) {
+	// Linear fields must transfer exactly in both directions (the old
+	// field is piecewise linear and continuous, and evaluation is linear).
+	f := func(x, y, z float64) float64 { return 3*x - 2*y + z + 0.5 }
+	for _, dim := range []int{2, 3} {
+		for _, p := range []int{1, 3} {
+			par.Run(p, func(c *par.Comm) {
+				coarse := discTree(dim, 2, 3, 0.3, 0.3, 0.2)
+				fine := discTree(dim, 2, 5, 0.7, 0.7, 0.25)
+				mOld := mesh.New(c, dim, scatterLeaves(coarse, c.Rank(), p))
+				mNew := mesh.New(c, dim, scatterLeaves(fine, c.Rank(), p))
+				v := mOld.NewVec(1)
+				for i := 0; i < mOld.NumLocal; i++ {
+					x, y, z := mOld.NodeCoord(i)
+					v[i] = f(x, y, z)
+				}
+				got := Nodal(mOld, v, mNew, 1)
+				for i := 0; i < mNew.NumLocal; i++ {
+					x, y, z := mNew.NodeCoord(i)
+					if math.Abs(got[i]-f(x, y, z)) > 1e-11 {
+						panic(fmt.Sprintf("dim=%d p=%d node %d: got %v want %v",
+							dim, p, i, got[i], f(x, y, z)))
+					}
+				}
+				// And back: fine -> coarse injection is exact too.
+				back := Nodal(mNew, got, mOld, 1)
+				for i := 0; i < mOld.NumLocal; i++ {
+					if math.Abs(back[i]-v[i]) > 1e-11 {
+						panic(fmt.Sprintf("dim=%d p=%d: round trip broke node %d", dim, p, i))
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestNodalTransferMultiDof(t *testing.T) {
+	par.Run(2, func(c *par.Comm) {
+		coarse := octree.Uniform(2, 3)
+		fine := octree.Uniform(2, 5)
+		mOld := mesh.New(c, 2, scatterLeaves(coarse, c.Rank(), 2))
+		mNew := mesh.New(c, 2, scatterLeaves(fine, c.Rank(), 2))
+		const ndof = 3
+		v := mOld.NewVec(ndof)
+		for i := 0; i < mOld.NumLocal; i++ {
+			x, y, _ := mOld.NodeCoord(i)
+			v[i*ndof] = x
+			v[i*ndof+1] = y
+			v[i*ndof+2] = x + 2*y
+		}
+		got := Nodal(mOld, v, mNew, ndof)
+		for i := 0; i < mNew.NumLocal; i++ {
+			x, y, _ := mNew.NodeCoord(i)
+			want := [3]float64{x, y, x + 2*y}
+			for d := 0; d < ndof; d++ {
+				if math.Abs(got[i*ndof+d]-want[d]) > 1e-12 {
+					panic(fmt.Sprintf("node %d dof %d: got %v want %v", i, d, got[i*ndof+d], want[d]))
+				}
+			}
+		}
+	})
+}
+
+func TestNodalMultiLevelJump(t *testing.T) {
+	// A 4-level jump in one transfer: level-2 uniform to level-6 uniform.
+	par.Run(4, func(c *par.Comm) {
+		mOld := mesh.New(c, 2, scatterLeaves(octree.Uniform(2, 2), c.Rank(), 4))
+		mNew := mesh.New(c, 2, scatterLeaves(octree.Uniform(2, 6), c.Rank(), 4))
+		v := mOld.NewVec(1)
+		for i := 0; i < mOld.NumLocal; i++ {
+			x, y, _ := mOld.NodeCoord(i)
+			v[i] = x * y // bilinear: exactly representable per element
+		}
+		got := Nodal(mOld, v, mNew, 1)
+		for i := 0; i < mNew.NumLocal; i++ {
+			x, y, _ := mNew.NodeCoord(i)
+			if math.Abs(got[i]-x*y) > 1e-12 {
+				panic("multi-level jump transfer wrong")
+			}
+		}
+	})
+}
+
+func TestCellCenteredCopyAndAverage(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		par.Run(p, func(c *par.Comm) {
+			coarse := octree.Uniform(2, 2) // 16 elements
+			fine := octree.Uniform(2, 4)   // 256 elements
+			oldLocal := scatterLeaves(coarse, c.Rank(), p)
+			newLocal := scatterLeaves(fine, c.Rank(), p)
+			oldVals := make([]float64, len(oldLocal))
+			for i, o := range oldLocal {
+				oldVals[i] = float64(o.X / o.Side()) // column index value
+			}
+			got := CellCentered(c, 2, oldLocal, oldVals, newLocal)
+			for i, q := range newLocal {
+				wantCol := float64(q.X / (q.Side() * 4)) // parent column
+				if math.Abs(got[i]-wantCol) > 1e-12 {
+					panic(fmt.Sprintf("p=%d: coarse->fine copy wrong at %v: %v want %v", p, q, got[i], wantCol))
+				}
+			}
+			// Fine->coarse: averages of the fine values.
+			fineVals := make([]float64, len(newLocal))
+			for i := range fineVals {
+				fineVals[i] = 2.5
+			}
+			back := CellCentered(c, 2, newLocal, fineVals, oldLocal)
+			for i := range back {
+				if math.Abs(back[i]-2.5) > 1e-12 {
+					panic("fine->coarse average wrong")
+				}
+			}
+		})
+	}
+}
+
+func TestLevelByLevelMatchesSinglePass(t *testing.T) {
+	par.Run(1, func(c *par.Comm) {
+		oldTree := octree.Uniform(2, 2)
+		newTree := octree.Uniform(2, 5)
+		mOld := mesh.New(c, 2, append([]sfc.Octant(nil), oldTree.Leaves...))
+		v := mOld.NewVec(1)
+		for i := 0; i < mOld.NumLocal; i++ {
+			x, y, _ := mOld.NodeCoord(i)
+			v[i] = 1 + x + y + x*y
+		}
+		mNew := mesh.New(c, 2, append([]sfc.Octant(nil), newTree.Leaves...))
+		single := Nodal(mOld, v, mNew, 1)
+		multi, mFinal, passes := NodalLevelByLevel(mOld, v, newTree, 1)
+		if passes != 3 {
+			panic(fmt.Sprintf("expected 3 one-level passes, got %d", passes))
+		}
+		if mFinal.NumGlobal != mNew.NumGlobal {
+			panic("level-by-level did not reach the target grid")
+		}
+		for i := 0; i < mFinal.NumLocal; i++ {
+			j, ok := mNew.NodeIndex(mFinal.Keys[i])
+			if !ok {
+				panic("node set mismatch")
+			}
+			if math.Abs(multi[i]-single[j]) > 1e-12 {
+				panic(fmt.Sprintf("node %d: level-by-level %v single-pass %v", i, multi[i], single[j]))
+			}
+		}
+	})
+}

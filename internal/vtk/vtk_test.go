@@ -1,0 +1,66 @@
+package vtk
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"proteus/internal/mesh"
+	"proteus/internal/octree"
+	"proteus/internal/par"
+	"proteus/internal/sfc"
+)
+
+func TestWriteProducesPiecesAndMaster(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "snap")
+	par.Run(3, func(c *par.Comm) {
+		tr := octree.Uniform(2, 3)
+		n := tr.Len()
+		p := c.Size()
+		lo, hi := c.Rank()*n/p, (c.Rank()+1)*n/p
+		local := make([]sfc.Octant, hi-lo)
+		copy(local, tr.Leaves[lo:hi])
+		m := mesh.New(c, 2, local)
+		v := m.NewVec(1)
+		for i := range v {
+			v[i] = float64(i)
+		}
+		ev := make([]float64, m.NumElems())
+		if err := Write(m, base, []Field{
+			{Name: "f", Ndof: 1, Data: v},
+			{Name: "cn", Ndof: 1, Data: ev, Elemental: true},
+		}); err != nil {
+			panic(err)
+		}
+	})
+	master, err := os.ReadFile(base + ".pvtu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := string(master)
+	for _, want := range []string{"PUnstructuredGrid", `Name="f"`, `Name="cn"`, "snap_r0000.vtu", "snap_r0002.vtu"} {
+		if !strings.Contains(ms, want) {
+			t.Fatalf("master missing %q", want)
+		}
+	}
+	for r := 0; r < 3; r++ {
+		piece, err := os.ReadFile(filepath.Join(dir, "snap_r000"+string(rune('0'+r))+".vtu"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := string(piece)
+		for _, want := range []string{"UnstructuredGrid", "connectivity", "offsets", "types", `Name="level"`} {
+			if !strings.Contains(ps, want) {
+				t.Fatalf("piece %d missing %q", r, want)
+			}
+		}
+	}
+}
+
+func TestCellTypes(t *testing.T) {
+	if cellType(2) != 8 || cellType(3) != 11 {
+		t.Fatal("pixel/voxel cell types expected")
+	}
+}
