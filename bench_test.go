@@ -18,6 +18,7 @@ import (
 	"proteus/internal/core"
 	"proteus/internal/dsort"
 	"proteus/internal/fem"
+	"proteus/internal/la"
 	"proteus/internal/mesh"
 	"proteus/internal/octree"
 	"proteus/internal/par"
@@ -107,6 +108,83 @@ func BenchmarkTableI_RemeshLevelByLevel(b *testing.B) {
 		})
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Assembly persistence — cold (first assembly: COO-map sparsity build +
+// freeze + scatter-plan construction) versus warm (plan-driven
+// reassembly on the frozen pattern), per Table I layout. The warm path
+// is the steady-state cost a time-stepping simulation pays every step;
+// it must be allocation-free (-benchmem) and a small multiple faster
+// than cold.
+// ---------------------------------------------------------------------------
+
+func benchAssemblyPlan(b *testing.B, layout fem.Layout, warm bool) {
+	par.Run(1, func(c *par.Comm) {
+		tree := interfaceTree(3, 2, 4)
+		local := make([]sfc.Octant, tree.Len())
+		copy(local, tree.Leaves)
+		m := mesh.New(c, 3, local)
+		const ndof = 2
+		asm := fem.NewAssembler(m, ndof)
+		asm.SetWorkers(1) // allocs/op must reflect the element loop alone
+		r := asm.Ref
+		npe := r.NPE
+		tmp := make([]float64, npe*npe)
+		blocks := make([][]float64, ndof*ndof)
+		for i := range blocks {
+			blocks[i] = make([]float64, npe*npe)
+		}
+		fill := func(w int, h float64, out [][]float64) {
+			wk := asm.WorkN(w)
+			r.MassGemm(wk, h, 1, nil, out[0])
+			r.StiffGemm(wk, h, 1, nil, tmp)
+			for i := range tmp {
+				out[0][i] += tmp[i]
+			}
+			r.MassGemm(wk, h, 0.3, nil, out[1])
+			r.MassGemm(wk, h, 1, nil, out[3])
+		}
+		zipKern := func(w, e int, h float64, out [][]float64) { fill(w, h, out) }
+		loopKern := func(w, e int, h float64, ke []float64) {
+			fill(w, h, blocks)
+			fem.UnzipMat(ndof, npe, blocks, ke)
+		}
+		assemble := func(mat *la.BSRMat) {
+			if layout == fem.LayoutZipped {
+				asm.AssembleMatrixZipped(mat, zipKern)
+			} else {
+				asm.AssembleMatrix(mat, layout, loopKern)
+			}
+		}
+		b.ReportMetric(float64(m.NumElems()), "elements")
+		b.ReportAllocs()
+		if warm {
+			mat := fem.NewMatrix(m, ndof, layout)
+			assemble(mat) // cold: builds sparsity and plan
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mat.Zero()
+				assemble(mat)
+			}
+			return
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh epoch drops the cached plan, so every iteration pays
+			// the full first-assembly cost (map build + freeze + plan).
+			asm.SetEpoch(uint64(i + 1))
+			mat := fem.NewMatrix(m, ndof, layout)
+			assemble(mat)
+		}
+	})
+}
+
+func BenchmarkAssemblyCold_AIJ(b *testing.B)    { benchAssemblyPlan(b, fem.LayoutAIJ, false) }
+func BenchmarkAssemblyCold_BAIJ(b *testing.B)   { benchAssemblyPlan(b, fem.LayoutBAIJ, false) }
+func BenchmarkAssemblyCold_Zipped(b *testing.B) { benchAssemblyPlan(b, fem.LayoutZipped, false) }
+func BenchmarkAssemblyWarm_AIJ(b *testing.B)    { benchAssemblyPlan(b, fem.LayoutAIJ, true) }
+func BenchmarkAssemblyWarm_BAIJ(b *testing.B)   { benchAssemblyPlan(b, fem.LayoutBAIJ, true) }
+func BenchmarkAssemblyWarm_Zipped(b *testing.B) { benchAssemblyPlan(b, fem.LayoutZipped, true) }
 
 // ---------------------------------------------------------------------------
 // Table II — solver/preconditioner configuration. The table itself is a

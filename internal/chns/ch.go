@@ -9,22 +9,71 @@ import (
 )
 
 // chOps holds the elemental operator blocks the CH residual and Jacobian
-// are combined from. All are NPE x NPE scalar blocks.
+// are combined from (all NPE x NPE scalar blocks), plus the nodal/Gauss
+// coefficient scratch used to build them, so the element loop allocates
+// nothing.
 type chOps struct {
 	Me  []float64 // mass
 	Ke  []float64 // stiffness
 	Kme []float64 // mobility-weighted stiffness
 	Ce  []float64 // convection with the current velocity
 	Mpp []float64 // ψ''(φ)-weighted mass
+
+	mob, psi2  []float64 // nodal mobility and ψ''
+	mobG, psiG []float64 // the same at Gauss points
 }
 
-func newCHOps(npe int) *chOps {
+func newCHOps(npe, ng int) *chOps {
 	n := npe * npe
 	return &chOps{
 		Me: make([]float64, n), Ke: make([]float64, n),
 		Kme: make([]float64, n), Ce: make([]float64, n),
 		Mpp: make([]float64, n),
+		mob: make([]float64, npe), psi2: make([]float64, npe),
+		mobG: make([]float64, ng), psiG: make([]float64, ng),
 	}
+}
+
+// chScratch is one element-loop worker's private CH Jacobian scratch.
+type chScratch struct {
+	ops     *chOps
+	pm      []float64   // φ,μ corner values
+	vel     []float64   // velocity corner values
+	jblocks [][]float64 // dof-pair blocks for the node-major Jacobian path
+}
+
+// chResScratch is the (serial) CH residual element-loop scratch, held on
+// the Solver so Residual allocates nothing per Newton iteration.
+type chResScratch struct {
+	ops                          *chOps
+	pm, pmOld, vel               []float64
+	phiNew, muNew, phiOld, muOld []float64
+	psi1, tmp, load              []float64
+}
+
+func newCHResScratch(npe, ng, dim int) *chResScratch {
+	return &chResScratch{
+		ops: newCHOps(npe, ng),
+		pm:  make([]float64, npe*2), pmOld: make([]float64, npe*2),
+		vel:    make([]float64, npe*dim),
+		phiNew: make([]float64, npe), muNew: make([]float64, npe),
+		phiOld: make([]float64, npe), muOld: make([]float64, npe),
+		psi1: make([]float64, npe), tmp: make([]float64, npe),
+		load: make([]float64, npe),
+	}
+}
+
+func newCHScratch(npe, ng, dim int) chScratch {
+	sc := chScratch{
+		ops: newCHOps(npe, ng),
+		pm:  make([]float64, npe*2),
+		vel: make([]float64, npe*dim),
+	}
+	sc.jblocks = make([][]float64, 4)
+	for i := range sc.jblocks {
+		sc.jblocks[i] = make([]float64, npe*npe)
+	}
+	return sc
 }
 
 func (o *chOps) zero() {
@@ -46,36 +95,32 @@ type chProblem struct {
 // buildOps assembles the elemental blocks for element e, with the
 // mobility and ψ” coefficients evaluated at the corner values phiC.
 // Uses the explicit-loop operators or the zipped GEMM operators depending
-// on the configured layout (Table I stage 2).
-func (p *chProblem) buildOps(e int, h float64, phiC, velC []float64, ops *chOps) {
+// on the configured layout (Table I stage 2). wk is the invoking worker's
+// GEMM scratch, so concurrent shards never share buffers.
+func (p *chProblem) buildOps(e int, h float64, phiC, velC []float64, ops *chOps, wk *fem.GemmWork) {
 	s := p.s
 	r := s.asmCH.Ref
 	npe := r.NPE
 	ops.zero()
-	mob := make([]float64, npe)
-	psi2 := make([]float64, npe)
 	for a := 0; a < npe; a++ {
-		mob[a] = s.Par.Mobility(phiC[a*2])
-		psi2[a] = PsiDoublePrime(phiC[a*2])
+		ops.mob[a] = s.Par.Mobility(phiC[a*2])
+		ops.psi2[a] = PsiDoublePrime(phiC[a*2])
 	}
 	if s.Opt.Layout == fem.LayoutZipped {
-		w := s.asmCH.Work()
-		mobG := make([]float64, r.NG)
-		psiG := make([]float64, r.NG)
-		r.CoefAtGauss(mob, mobG)
-		r.CoefAtGauss(psi2, psiG)
-		r.MassGemm(w, h, 1, nil, ops.Me)
-		r.StiffGemm(w, h, 1, nil, ops.Ke)
-		r.StiffGemm(w, h, 1, mobG, ops.Kme)
-		r.ConvGemm(w, h, 1, velC, ops.Ce)
-		r.MassGemm(w, h, 1, psiG, ops.Mpp)
+		r.CoefAtGauss(ops.mob, ops.mobG)
+		r.CoefAtGauss(ops.psi2, ops.psiG)
+		r.MassGemm(wk, h, 1, nil, ops.Me)
+		r.StiffGemm(wk, h, 1, nil, ops.Ke)
+		r.StiffGemm(wk, h, 1, ops.mobG, ops.Kme)
+		r.ConvGemm(wk, h, 1, velC, ops.Ce)
+		r.MassGemm(wk, h, 1, ops.psiG, ops.Mpp)
 		return
 	}
 	r.Mass(h, 1, ops.Me)
 	r.Stiffness(h, 1, ops.Ke)
-	r.WeightedStiffness(h, mob, 1, ops.Kme)
+	r.WeightedStiffness(h, ops.mob, 1, ops.Kme)
 	r.Convection(h, velC, 1, ops.Ce)
-	r.WeightedMass(h, psi2, 1, ops.Mpp)
+	r.WeightedMass(h, ops.psi2, 1, ops.Mpp)
 }
 
 // gatherCorners extracts φ,μ and velocity corner values for element e.
@@ -92,17 +137,12 @@ func (p *chProblem) Residual(x, res []float64) {
 	m.GhostRead(x, 2)
 	r := s.asmCH.Ref
 	npe := r.NPE
-	ops := newCHOps(npe)
-	pm := make([]float64, npe*2)
-	pmOld := make([]float64, npe*2)
-	vel := make([]float64, npe*m.Dim)
-	phiNew := make([]float64, npe)
-	muNew := make([]float64, npe)
-	phiOld := make([]float64, npe)
-	muOld := make([]float64, npe)
-	psi1 := make([]float64, npe)
-	tmp := make([]float64, npe)
-	load := make([]float64, npe)
+	sc := s.chRes
+	ops := sc.ops
+	pm, pmOld, vel := sc.pm, sc.pmOld, sc.vel
+	phiNew, muNew := sc.phiNew, sc.muNew
+	phiOld, muOld := sc.phiOld, sc.muOld
+	psi1, tmp, load := sc.psi1, sc.tmp, sc.load
 	s.asmCH.AssembleVector(res, func(e int, h float64, fe []float64) {
 		p.gatherCorners(e, x, pm, vel)
 		m.GatherElem(e, p.old, 2, pmOld)
@@ -113,7 +153,7 @@ func (p *chProblem) Residual(x, res []float64) {
 			muOld[a] = pmOld[a*2+1]
 			psi1[a] = PsiPrime(phiNew[a])
 		}
-		p.buildOps(e, h, pm, vel, ops)
+		p.buildOps(e, h, pm, vel, ops, s.asmCH.Work())
 		cn := s.ElemCn[e]
 		diff := 1 / (s.Par.Pe * cn)
 		th, th1 := p.theta, 1-p.theta
@@ -157,13 +197,20 @@ func (p *chProblem) Jacobian(x []float64) (la.Operator, la.PC) {
 	m.GhostRead(x, 2)
 	r := s.asmCH.Ref
 	npe := r.NPE
-	ops := newCHOps(npe)
-	pm := make([]float64, npe*2)
-	vel := make([]float64, npe*m.Dim)
-	mat := fem.NewMatrix(m, 2, s.Opt.Layout)
-	fill := func(e int, h float64, blocks [][]float64) {
-		p.gatherCorners(e, x, pm, vel)
-		p.buildOps(e, h, pm, vel, ops)
+	// Persistent operator: allocated once per mesh, Zero()+reassembled on
+	// every Newton iteration and time step thereafter (warm plan path).
+	if s.chMat == nil {
+		s.chMat = s.asmCH.NewMatrix(s.Opt.Layout)
+	} else {
+		s.chMat.Zero()
+	}
+	mat := s.chMat
+	fill := func(w, e int, h float64, blocks [][]float64) {
+		sc := &s.chScr[w]
+		m.GatherElem(e, x, 2, sc.pm)
+		m.GatherElem(e, s.Vel, m.Dim, sc.vel)
+		p.buildOps(e, h, sc.pm, sc.vel, sc.ops, s.asmCH.WorkN(w))
+		ops := sc.ops
 		cn := s.ElemCn[e]
 		diff := 1 / (s.Par.Pe * cn)
 		th := p.theta
@@ -178,16 +225,12 @@ func (p *chProblem) Jacobian(x []float64) (la.Operator, la.PC) {
 	if s.Opt.Layout == fem.LayoutZipped {
 		s.asmCH.AssembleMatrixZipped(mat, fill)
 	} else {
-		blocks := make([][]float64, 4)
-		for i := range blocks {
-			blocks[i] = make([]float64, npe*npe)
-		}
-		s.asmCH.AssembleMatrix(mat, s.Opt.Layout, func(e int, h float64, ke []float64) {
-			fill(e, h, blocks)
-			fem.UnzipMat(2, npe, blocks, ke)
+		s.asmCH.AssembleMatrix(mat, s.Opt.Layout, func(w, e int, h float64, ke []float64) {
+			sc := &s.chScr[w]
+			fill(w, e, h, sc.jblocks)
+			fem.UnzipMat(2, npe, sc.jblocks, ke)
 		})
 	}
-	mat.Finalize()
 	return mat, la.NewPCBJacobiILU0(mat)
 }
 
@@ -244,11 +287,10 @@ func (s *Solver) InitMuFromPhi() {
 			fe[a] += tmp[a]
 		}
 	})
-	mass := fem.NewMatrix(m, 1, fem.LayoutBAIJ)
-	s.asmS.AssembleMatrix(mass, fem.LayoutBAIJ, func(e int, h float64, ke []float64) {
+	mass := s.asmS.NewMatrix(fem.LayoutBAIJ)
+	s.asmS.AssembleMatrix(mass, fem.LayoutBAIJ, func(w, e int, h float64, ke []float64) {
 		r.Mass(h, 1, ke)
 	})
-	mass.Finalize()
 	mu := m.NewVec(1)
 	ksp := &la.KSP{Op: mass, PC: la.NewPCJacobi(mass), Red: m, Type: la.CG, Rtol: 1e-10}
 	ksp.Solve(rhs, mu)

@@ -8,6 +8,32 @@ import (
 	"proteus/internal/la"
 )
 
+// nsScratch is one element-loop worker's private NS matrix-kernel
+// scratch, so the sharded assembly runs race-free with zero per-element
+// allocation.
+type nsScratch struct {
+	pm, velC       []float64
+	rho, eta, phiC []float64
+	scalarOp, tmp  []float64
+	rvel           []float64
+	rhoG, etaG     []float64
+}
+
+func newNSScratch(npe, ng, dim int) nsScratch {
+	return nsScratch{
+		pm:       make([]float64, npe*2),
+		velC:     make([]float64, npe*dim),
+		rho:      make([]float64, npe),
+		eta:      make([]float64, npe),
+		phiC:     make([]float64, npe),
+		scalarOp: make([]float64, npe*npe),
+		tmp:      make([]float64, npe*npe),
+		rvel:     make([]float64, npe*dim),
+		rhoG:     make([]float64, ng),
+		etaG:     make([]float64, ng),
+	}
+}
+
 // StepNS solves the linearized semi-implicit momentum block for the
 // tentative velocity v* (Table II: bcgs + bjacobi). The convection
 // velocity and the mixture properties are evaluated from the current φ
@@ -34,79 +60,74 @@ func (s *Solver) StepNS() {
 	th := s.Opt.Theta
 	dt := s.Opt.Dt
 
-	pm := make([]float64, npe*2)
-	velC := make([]float64, npe*dim)
-	pC := make([]float64, npe)
-	rho := make([]float64, npe)
-	eta := make([]float64, npe)
-	phiC := make([]float64, npe)
-	muC := make([]float64, npe)
-
 	// Matrix: same scalar operator on each velocity component (the
 	// viscous cross-coupling is lumped into the component Laplacian).
+	// The operator matrix persists across steps: allocated once per mesh,
+	// Zero()+reassembled thereafter through the warm assembly plan.
 	tMat := time.Now()
-	mat := fem.NewMatrix(m, dim, s.Opt.Layout)
-	scalarOp := make([]float64, npe*npe)
-	buildScalar := func(e int, h float64) {
-		m.GatherElem(e, s.PhiMu, 2, pm)
-		m.GatherElem(e, s.Vel, dim, velC)
+	if s.nsMat == nil {
+		s.nsMat = s.asmVel.NewMatrix(s.Opt.Layout)
+	} else {
+		s.nsMat.Zero()
+	}
+	mat := s.nsMat
+	buildScalar := func(w, e int, h float64) *nsScratch {
+		sc := &s.nsScr[w]
+		m.GatherElem(e, s.PhiMu, 2, sc.pm)
+		m.GatherElem(e, s.Vel, dim, sc.velC)
 		for a := 0; a < npe; a++ {
-			phiC[a] = pm[a*2]
-			rho[a] = s.Par.Density(phiC[a])
-			eta[a] = s.Par.Viscosity(phiC[a])
+			sc.phiC[a] = sc.pm[a*2]
+			sc.rho[a] = s.Par.Density(sc.phiC[a])
+			sc.eta[a] = s.Par.Viscosity(sc.phiC[a])
 		}
-		for i := range scalarOp {
-			scalarOp[i] = 0
+		for i := range sc.scalarOp {
+			sc.scalarOp[i] = 0
 		}
 		if s.Opt.Layout == fem.LayoutZipped {
-			w := s.asmVel.Work()
-			rhoG := make([]float64, r.NG)
-			etaG := make([]float64, r.NG)
-			r.CoefAtGauss(rho, rhoG)
-			r.CoefAtGauss(eta, etaG)
-			tmp := make([]float64, npe*npe)
-			r.MassGemm(w, h, 1/dt, rhoG, scalarOp)
-			r.StiffGemm(w, h, th/s.Par.Re, etaG, tmp)
-			for i := range tmp {
-				scalarOp[i] += tmp[i]
+			wk := s.asmVel.WorkN(w)
+			r.CoefAtGauss(sc.rho, sc.rhoG)
+			r.CoefAtGauss(sc.eta, sc.etaG)
+			r.MassGemm(wk, h, 1/dt, sc.rhoG, sc.scalarOp)
+			r.StiffGemm(wk, h, th/s.Par.Re, sc.etaG, sc.tmp)
+			for i := range sc.tmp {
+				sc.scalarOp[i] += sc.tmp[i]
 			}
 			// ρ-weighted convection: fold ρ into the velocity samples.
-			rvel := make([]float64, npe*dim)
 			for a := 0; a < npe; a++ {
 				for d := 0; d < dim; d++ {
-					rvel[a*dim+d] = rho[a] * velC[a*dim+d]
+					sc.rvel[a*dim+d] = sc.rho[a] * sc.velC[a*dim+d]
 				}
 			}
-			r.ConvGemm(w, h, th, rvel, tmp)
-			for i := range tmp {
-				scalarOp[i] += tmp[i]
+			r.ConvGemm(wk, h, th, sc.rvel, sc.tmp)
+			for i := range sc.tmp {
+				sc.scalarOp[i] += sc.tmp[i]
 			}
-			return
+			return sc
 		}
-		r.WeightedMass(h, rho, 1/dt, scalarOp)
-		r.WeightedStiffness(h, eta, th/s.Par.Re, scalarOp)
-		rvel := make([]float64, npe*dim)
+		r.WeightedMass(h, sc.rho, 1/dt, sc.scalarOp)
+		r.WeightedStiffness(h, sc.eta, th/s.Par.Re, sc.scalarOp)
 		for a := 0; a < npe; a++ {
 			for d := 0; d < dim; d++ {
-				rvel[a*dim+d] = rho[a] * velC[a*dim+d]
+				sc.rvel[a*dim+d] = sc.rho[a] * sc.velC[a*dim+d]
 			}
 		}
-		r.Convection(h, rvel, th, scalarOp)
+		r.Convection(h, sc.rvel, th, sc.scalarOp)
+		return sc
 	}
 	if s.Opt.Layout == fem.LayoutZipped {
-		s.asmVel.AssembleMatrixZipped(mat, func(e int, h float64, blocks [][]float64) {
-			buildScalar(e, h)
+		s.asmVel.AssembleMatrixZipped(mat, func(w, e int, h float64, blocks [][]float64) {
+			sc := buildScalar(w, e, h)
 			for d := 0; d < dim; d++ {
-				copy(blocks[d*dim+d], scalarOp)
+				copy(blocks[d*dim+d], sc.scalarOp)
 			}
 		})
 	} else {
-		s.asmVel.AssembleMatrix(mat, s.Opt.Layout, func(e int, h float64, ke []float64) {
-			buildScalar(e, h)
+		s.asmVel.AssembleMatrix(mat, s.Opt.Layout, func(w, e int, h float64, ke []float64) {
+			sc := buildScalar(w, e, h)
 			n := npe * dim
 			for a := 0; a < npe; a++ {
 				for b := 0; b < npe; b++ {
-					v := scalarOp[a*npe+b]
+					v := sc.scalarOp[a*npe+b]
 					for d := 0; d < dim; d++ {
 						ke[(a*dim+d)*n+b*dim+d] = v
 					}
@@ -116,11 +137,22 @@ func (s *Solver) StepNS() {
 	}
 	s.T.NS.Matrix += time.Since(tMat)
 
-	// RHS.
+	// RHS (serial element loop; scratch hoisted out of the closure).
 	tVec := time.Now()
 	rhs := m.NewVec(dim)
+	pm := make([]float64, npe*2)
+	velC := make([]float64, npe*dim)
+	pC := make([]float64, npe)
+	rho := make([]float64, npe)
+	eta := make([]float64, npe)
+	phiC := make([]float64, npe)
+	muC := make([]float64, npe)
 	tmp := make([]float64, npe)
 	scalarOld := make([]float64, npe*npe)
+	rvel := make([]float64, npe*dim)
+	visc := make([]float64, npe*npe)
+	comp := make([]float64, npe)
+	pGrad := make([]float64, dim)
 	s.asmVel.AssembleVector(rhs, func(e int, h float64, fe []float64) {
 		m.GatherElem(e, s.PhiMu, 2, pm)
 		m.GatherElem(e, s.Vel, dim, velC)
@@ -136,19 +168,19 @@ func (s *Solver) StepNS() {
 			scalarOld[i] = 0
 		}
 		r.WeightedMass(h, rho, 1/dt, scalarOld)
-		rvel := make([]float64, npe*dim)
 		for a := 0; a < npe; a++ {
 			for d := 0; d < dim; d++ {
 				rvel[a*dim+d] = rho[a] * velC[a*dim+d]
 			}
 		}
 		r.Convection(h, rvel, -(1 - th), scalarOld)
-		visc := make([]float64, npe*npe)
+		for i := range visc {
+			visc[i] = 0
+		}
 		r.WeightedStiffness(h, eta, -(1-th)/s.Par.Re, visc)
 		for i := range scalarOld {
 			scalarOld[i] += visc[i]
 		}
-		comp := make([]float64, npe)
 		for d := 0; d < dim; d++ {
 			for a := 0; a < npe; a++ {
 				comp[a] = velC[a*dim+d]
@@ -176,7 +208,6 @@ func (s *Solver) StepNS() {
 			phiG := r.AtGauss(g, phiC)
 			mobG := s.Par.Mobility(phiG)
 			rhoG := s.Par.Density(phiG)
-			pGrad := make([]float64, dim)
 			for d := 0; d < dim; d++ {
 				pGrad[d] = r.GradAtGauss(g, d, h, pC)
 				jv[d] = jfc * mobG * gmu[d]
@@ -213,7 +244,6 @@ func (s *Solver) StepNS() {
 	})
 	s.T.NS.Vector += time.Since(tVec)
 
-	mat.Finalize()
 	// No-slip walls.
 	for i := 0; i < m.NumOwned; i++ {
 		if m.OnBoundary(i) {

@@ -7,6 +7,22 @@ import (
 	"proteus/internal/la"
 )
 
+// ppScratch is one element-loop worker's private pressure-Poisson
+// matrix-kernel scratch.
+type ppScratch struct {
+	pm     []float64
+	invRho []float64
+	cg     []float64
+}
+
+func newPPScratch(npe, ng int) ppScratch {
+	return ppScratch{
+		pm:     make([]float64, npe*2),
+		invRho: make([]float64, npe),
+		cg:     make([]float64, ng),
+	}
+}
+
 // StepPP solves the variable-density pressure Poisson equation of the
 // projection step (Table II: ibcgs + bjacobi):
 //
@@ -24,30 +40,35 @@ func (s *Solver) StepPP() []float64 {
 	m.GhostRead(s.PhiMu, 2)
 	m.GhostRead(s.Vel, dim)
 
-	pm := make([]float64, npe*2)
-	invRho := make([]float64, npe)
 	velC := make([]float64, npe*dim)
 
+	// Persistent operator: allocated once per mesh, Zero()+reassembled
+	// through the warm plan on later steps.
 	tMat := time.Now()
-	mat := fem.NewMatrix(m, 1, s.Opt.Layout)
-	buildCoef := func(e int) {
-		m.GatherElem(e, s.PhiMu, 2, pm)
+	if s.ppMat == nil {
+		s.ppMat = s.asmS.NewMatrix(s.Opt.Layout)
+	} else {
+		s.ppMat.Zero()
+	}
+	mat := s.ppMat
+	buildCoef := func(w, e int) *ppScratch {
+		sc := &s.ppScr[w]
+		m.GatherElem(e, s.PhiMu, 2, sc.pm)
 		for a := 0; a < npe; a++ {
-			invRho[a] = 1 / s.Par.Density(pm[a*2])
+			sc.invRho[a] = 1 / s.Par.Density(sc.pm[a*2])
 		}
+		return sc
 	}
 	if s.Opt.Layout == fem.LayoutZipped {
-		s.asmS.AssembleMatrixZipped(mat, func(e int, h float64, blocks [][]float64) {
-			buildCoef(e)
-			w := s.asmS.Work()
-			cg := make([]float64, r.NG)
-			r.CoefAtGauss(invRho, cg)
-			r.StiffGemm(w, h, 1, cg, blocks[0])
+		s.asmS.AssembleMatrixZipped(mat, func(w, e int, h float64, blocks [][]float64) {
+			sc := buildCoef(w, e)
+			r.CoefAtGauss(sc.invRho, sc.cg)
+			r.StiffGemm(s.asmS.WorkN(w), h, 1, sc.cg, blocks[0])
 		})
 	} else {
-		s.asmS.AssembleMatrix(mat, s.Opt.Layout, func(e int, h float64, ke []float64) {
-			buildCoef(e)
-			r.WeightedStiffness(h, invRho, 1, ke)
+		s.asmS.AssembleMatrix(mat, s.Opt.Layout, func(w, e int, h float64, ke []float64) {
+			sc := buildCoef(w, e)
+			r.WeightedStiffness(h, sc.invRho, 1, ke)
 		})
 	}
 	s.T.PP.Matrix += time.Since(tMat)
@@ -78,7 +99,6 @@ func (s *Solver) StepPP() []float64 {
 	})
 	s.T.PP.Vector += time.Since(tVec)
 
-	mat.Finalize()
 	// Pin the global first pressure unknown to fix the Neumann nullspace.
 	if m.GlobalStart == 0 && m.NumOwned > 0 {
 		mat.ZeroRow(0, 1)

@@ -74,9 +74,27 @@ type Solver struct {
 	asmVel *fem.Assembler
 	asmS   *fem.Assembler // scalar
 
-	// Cached VU mass matrix (reused while the mesh is unchanged).
+	// Persistent operators: each stage allocates its matrix once (sharing
+	// the frozen sparsity of its assembler's plan) and Zero()+reassembles
+	// thereafter, so steady-state time stepping performs no sparsity
+	// construction. Invalidated by SetMeshEpoch on remesh.
+	chMat      *la.BSRMat
+	nsMat      *la.BSRMat
+	ppMat      *la.BSRMat
+	vuBlockMat *la.BSRMat
+	// Cached VU mass matrix (reused, not even reassembled, while the mesh
+	// is unchanged).
 	vuMass   *la.BSRMat
 	vuMassPC la.PC
+
+	// Per-worker kernel scratch for the sharded element loop.
+	chRes *chResScratch
+	chScr []chScratch
+	nsScr []nsScratch
+	ppScr []ppScratch
+	vuScr [][]float64 // baseline block-VU scalar mass per worker
+
+	meshEpoch uint64
 }
 
 // NewSolver allocates state on the mesh.
@@ -92,8 +110,53 @@ func NewSolver(m *mesh.Mesh, par Params, opt Options) *Solver {
 	s.asmCH = fem.NewAssembler(m, 2)
 	s.asmVel = fem.NewAssembler(m, m.Dim)
 	s.asmS = fem.NewAssembler(m, 1)
+	s.initScratch()
 	return s
 }
+
+// initScratch sizes the per-worker kernel scratch pools to the element
+// loop shard counts of the stage assemblers.
+func (s *Solver) initScratch() {
+	npe := s.asmCH.Ref.NPE
+	ng := s.asmCH.Ref.NG
+	dim := s.M.Dim
+	s.chRes = newCHResScratch(npe, ng, dim)
+	s.chScr = make([]chScratch, s.asmCH.Workers())
+	for i := range s.chScr {
+		s.chScr[i] = newCHScratch(npe, ng, dim)
+	}
+	s.nsScr = make([]nsScratch, s.asmVel.Workers())
+	for i := range s.nsScr {
+		s.nsScr[i] = newNSScratch(npe, ng, dim)
+	}
+	s.ppScr = make([]ppScratch, s.asmS.Workers())
+	for i := range s.ppScr {
+		s.ppScr[i] = newPPScratch(npe, ng)
+	}
+	s.vuScr = make([][]float64, s.asmVel.Workers())
+	for i := range s.vuScr {
+		s.vuScr[i] = make([]float64, npe*npe)
+	}
+}
+
+// SetMeshEpoch declares the mesh generation this solver runs on. A change
+// (core increments its counter on every remesh) drops the persistent
+// operators and every cached assembly plan, forcing the next assembly of
+// each stage through the cold sparsity-building path.
+func (s *Solver) SetMeshEpoch(e uint64) {
+	if e == s.meshEpoch {
+		return
+	}
+	s.meshEpoch = e
+	s.asmCH.SetEpoch(e)
+	s.asmVel.SetEpoch(e)
+	s.asmS.SetEpoch(e)
+	s.chMat, s.nsMat, s.ppMat, s.vuBlockMat = nil, nil, nil, nil
+	s.vuMass, s.vuMassPC = nil, nil
+}
+
+// MeshEpoch returns the solver's current mesh epoch.
+func (s *Solver) MeshEpoch() uint64 { return s.meshEpoch }
 
 // SetPhi initializes φ from a point function and sets μ consistently to 0.
 func (s *Solver) SetPhi(f func(x, y, z float64) float64) {

@@ -64,17 +64,16 @@ func (s *Solver) StepVU(psi []float64) {
 		// every component and every step.
 		tMat := time.Now()
 		if s.vuMass == nil {
-			s.vuMass = fem.NewMatrix(m, 1, s.Opt.Layout)
+			s.vuMass = s.asmS.NewMatrix(s.Opt.Layout)
 			if s.Opt.Layout == fem.LayoutZipped {
-				s.asmS.AssembleMatrixZipped(s.vuMass, func(e int, h float64, blocks [][]float64) {
-					r.MassGemm(s.asmS.Work(), h, 1, nil, blocks[0])
+				s.asmS.AssembleMatrixZipped(s.vuMass, func(w, e int, h float64, blocks [][]float64) {
+					r.MassGemm(s.asmS.WorkN(w), h, 1, nil, blocks[0])
 				})
 			} else {
-				s.asmS.AssembleMatrix(s.vuMass, s.Opt.Layout, func(e int, h float64, ke []float64) {
+				s.asmS.AssembleMatrix(s.vuMass, s.Opt.Layout, func(w, e int, h float64, ke []float64) {
 					r.Mass(h, 1, ke)
 				})
 			}
-			s.vuMass.Finalize()
 			for i := 0; i < m.NumOwned; i++ {
 				if m.OnBoundary(i) {
 					s.vuMass.ZeroRow(i, 1)
@@ -115,14 +114,23 @@ func (s *Solver) StepVU(psi []float64) {
 		// Baseline: one N×DIM block mass system per step. This path exists
 		// for the Table I baseline comparison, so it always uses the
 		// node-major assembly (the zipped kernel is a stage-2 feature).
+		// The operator persists across steps like the other stages.
 		lay := s.Opt.Layout
 		if lay == fem.LayoutZipped {
 			lay = fem.LayoutBAIJ
 		}
 		tMat := time.Now()
-		mat := fem.NewMatrix(m, dim, lay)
-		s.asmVel.AssembleMatrix(mat, lay, func(e int, h float64, ke []float64) {
-			scalar := make([]float64, npe*npe)
+		if s.vuBlockMat == nil {
+			s.vuBlockMat = s.asmVel.NewMatrix(lay)
+		} else {
+			s.vuBlockMat.Zero()
+		}
+		mat := s.vuBlockMat
+		s.asmVel.AssembleMatrix(mat, lay, func(w, e int, h float64, ke []float64) {
+			scalar := s.vuScr[w]
+			for i := range scalar {
+				scalar[i] = 0
+			}
 			r.Mass(h, 1, scalar)
 			n := npe * dim
 			for a := 0; a < npe; a++ {
@@ -133,7 +141,6 @@ func (s *Solver) StepVU(psi []float64) {
 				}
 			}
 		})
-		mat.Finalize()
 		s.T.VU.Matrix += time.Since(tMat)
 		tVec := time.Now()
 		rhs := m.NewVec(dim)

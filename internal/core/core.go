@@ -82,6 +82,13 @@ type Simulation struct {
 	StepIndex int
 	Time      float64
 
+	// MeshEpoch counts mesh generations: it starts at 0 and increments on
+	// every adaptation round that actually changed the mesh. The solver
+	// and its assemblers key their persistent sparsity and assembly plans
+	// to this counter, so plan invalidation happens exactly at remesh and
+	// never on the steady time-stepping path.
+	MeshEpoch uint64
+
 	// Accumulated timers (the solver's are folded in across remeshes).
 	T chns.Timers
 	// RemeshCount counts adaptation rounds that changed the mesh.
@@ -269,9 +276,13 @@ func (s *Simulation) Adapt() {
 	newP := transfer.Nodal(m, sol.P, newM, 1)
 	newCnMark := transfer.CellCentered(s.Comm, cfg.Dim, refined, refinedCn, newM.Elems)
 
-	// Swap in a fresh solver bound to the new mesh, folding timers.
+	// Swap in a fresh solver bound to the new mesh, folding timers. The
+	// epoch bump invalidates every cached assembly plan and persistent
+	// operator keyed to the old mesh generation.
+	s.MeshEpoch++
 	s.foldTimers()
 	ns := chns.NewSolver(newM, cfg.Params, cfg.Opt)
+	ns.SetMeshEpoch(s.MeshEpoch)
 	copy(ns.PhiMu, newPhiMu)
 	copy(ns.Vel, newVel)
 	copy(ns.P, newP)

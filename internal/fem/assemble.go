@@ -2,6 +2,9 @@ package fem
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
 
 	"proteus/internal/la"
 	"proteus/internal/mesh"
@@ -9,13 +12,19 @@ import (
 )
 
 // NodeMajorKernel fills the elemental matrix Ke for element e in
-// node-major layout: Ke[(a*ndof+di)*(npe*ndof) + b*ndof+dj].
-type NodeMajorKernel func(e int, h float64, ke []float64)
+// node-major layout: Ke[(a*ndof+di)*(npe*ndof) + b*ndof+dj]. The worker
+// index w names the element-loop shard invoking the kernel: kernels with
+// mutable scratch must keep one copy per worker (index it by w, sized by
+// Assembler.Workers) so the sharded loop stays race-free. Serial callers
+// always see w == 0.
+type NodeMajorKernel func(w, e int, h float64, ke []float64)
 
 // ZippedKernel fills dof-pair-major blocks for element e:
 // blocks[di*ndof+dj] is a contiguous npe x npe scalar block (the zipped
-// layout produced by the GEMM operators).
-type ZippedKernel func(e int, h float64, blocks [][]float64)
+// layout produced by the GEMM operators). The worker index w follows the
+// same per-shard contract as NodeMajorKernel; use Assembler.WorkN(w) for
+// per-worker GEMM scratch.
+type ZippedKernel func(w, e int, h float64, blocks [][]float64)
 
 // offProc is a matrix contribution destined for a remote owner of the row
 // node. Blocks are at most 4x4 (ndof <= 4).
@@ -41,8 +50,20 @@ const (
 	LayoutZipped
 )
 
+// planIdx maps a layout to its plan cache slot: BAIJ and zipped assembly
+// share the node-block sparsity (the zipped path only changes how the
+// elemental block is produced), so they share one plan.
+func planIdx(layout Layout) int {
+	if layout == LayoutAIJ {
+		return 0
+	}
+	return 1
+}
+
 // NewMatrix allocates an empty matrix matching the layout: scalar AIJ for
-// the baseline, BAIJ otherwise.
+// the baseline, BAIJ otherwise. The first assembly into it builds the
+// sparsity through the COO map; prefer Assembler.NewMatrix once an
+// assembler exists so the frozen pattern is shared.
 func NewMatrix(m *mesh.Mesh, ndof int, layout Layout) *la.BSRMat {
 	if layout == LayoutAIJ {
 		return la.NewAIJ(m, ndof, m.NumOwned, m.NumLocal)
@@ -50,17 +71,42 @@ func NewMatrix(m *mesh.Mesh, ndof int, layout Layout) *la.BSRMat {
 	return la.NewBAIJ(m, ndof, m.NumOwned, m.NumLocal)
 }
 
+// workerScratch is one element-loop shard's private state, so the
+// parallel loop runs with zero shared mutable scratch and zero
+// per-element allocation.
+type workerScratch struct {
+	ke     []float64
+	blocks [][]float64
+	blk    []float64
+	wk     *GemmWork
+	vals   []float64 // accumulation buffer for workers > 0
+}
+
 // Assembler drives distributed matrix and vector assembly over a mesh.
+// It owns the per-(mesh, ndof) assembly plans: the first assembly of a
+// layout runs the COO-map path and freezes the sparsity; every later
+// assembly with the same pattern is plan-driven flat-array accumulation.
 type Assembler struct {
 	M    *mesh.Mesh
 	Ref  *Ref
 	Ndof int
 
-	// scratch
-	ke     []float64
-	blocks [][]float64
-	blk    []float64
-	femWk  *GemmWork
+	// workers is the element-loop shard count for plan-driven matrix
+	// assembly (default: GOMAXPROCS divided among the in-process ranks).
+	workers int
+	ws      []workerScratch
+
+	// off is the reusable off-process contribution buffer of the cold
+	// path (preallocated per-destination slices, reset between calls).
+	off *offProcBuf
+
+	// plans[0] is the scalar AIJ plan, plans[1] the node-block plan
+	// shared by BAIJ and zipped assembly.
+	plans [2]*AssemblyPlan
+
+	// epoch tags the mesh generation the plans were built for; see
+	// SetEpoch.
+	epoch uint64
 }
 
 // NewAssembler builds an assembler for ndof unknowns per node.
@@ -70,52 +116,160 @@ func NewAssembler(m *mesh.Mesh, ndof int) *Assembler {
 		panic("fem: ndof > 4 unsupported by off-process block buffer")
 	}
 	a := &Assembler{M: m, Ref: r, Ndof: ndof}
-	n := r.NPE * ndof
-	a.ke = make([]float64, n*n)
-	a.blocks = make([][]float64, ndof*ndof)
-	for i := range a.blocks {
-		a.blocks[i] = make([]float64, r.NPE*r.NPE)
+	a.workers = runtime.GOMAXPROCS(0) / m.Comm.Size()
+	if a.workers < 1 {
+		a.workers = 1
 	}
-	a.blk = make([]float64, ndof*ndof)
-	a.femWk = NewGemmWork(r)
+	a.ensureWorkers(1)
+	a.off = newOffProcBuf()
 	return a
 }
 
-// Work returns the assembler's GEMM scratch (for zipped kernels).
-func (a *Assembler) Work() *GemmWork { return a.femWk }
+// ensureWorkers grows the per-worker scratch pool to n entries.
+func (a *Assembler) ensureWorkers(n int) {
+	for len(a.ws) < n {
+		npe := a.Ref.NPE
+		nn := npe * a.Ndof
+		s := workerScratch{
+			ke:  make([]float64, nn*nn),
+			blk: make([]float64, a.Ndof*a.Ndof),
+			wk:  NewGemmWork(a.Ref),
+		}
+		s.blocks = make([][]float64, a.Ndof*a.Ndof)
+		for j := range s.blocks {
+			s.blocks[j] = make([]float64, npe*npe)
+		}
+		a.ws = append(a.ws, s)
+	}
+}
+
+// Workers returns the element-loop shard count kernels must size their
+// per-worker scratch for.
+func (a *Assembler) Workers() int { return a.workers }
+
+// SetWorkers overrides the element-loop shard count (n >= 1). Workers
+// change the order of floating-point accumulation between shards, so
+// reproducibility-sensitive callers pin n = 1.
+func (a *Assembler) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	a.workers = n
+}
+
+// Work returns worker 0's GEMM scratch (for serial zipped kernels).
+func (a *Assembler) Work() *GemmWork { return a.WorkN(0) }
+
+// WorkN returns worker w's GEMM scratch.
+func (a *Assembler) WorkN(w int) *GemmWork {
+	a.ensureWorkers(w + 1)
+	return a.ws[w].wk
+}
+
+// SetEpoch declares the mesh generation the assembler is running on.
+// A change invalidates every cached plan (the sparsity of a remeshed
+// domain is new), so the next assembly re-runs the cold path.
+func (a *Assembler) SetEpoch(e uint64) {
+	if e == a.epoch {
+		return
+	}
+	a.epoch = e
+	a.InvalidatePlans()
+}
+
+// Epoch returns the assembler's current mesh epoch.
+func (a *Assembler) Epoch() uint64 { return a.epoch }
+
+// InvalidatePlans drops the cached assembly plans (e.g. after a remesh).
+func (a *Assembler) InvalidatePlans() {
+	a.plans[0], a.plans[1] = nil, nil
+}
+
+// Plan returns the cached plan for a layout, or nil before the first
+// assembly (or after invalidation).
+func (a *Assembler) Plan(layout Layout) *AssemblyPlan { return a.plans[planIdx(layout)] }
+
+// NewMatrix allocates a matrix for the layout. When the layout's plan
+// exists the matrix shares the frozen sparsity and is born finalized
+// (zero values), so assembling into it takes the warm plan-driven path
+// immediately.
+func (a *Assembler) NewMatrix(layout Layout) *la.BSRMat {
+	if p := a.plans[planIdx(layout)]; p != nil {
+		if layout == LayoutAIJ {
+			return la.NewAIJFromSparsity(a.M, a.Ndof, a.M.NumOwned, a.M.NumLocal, p.sp)
+		}
+		return la.NewBAIJFromSparsity(a.M, a.Ndof, a.M.NumOwned, a.M.NumLocal, p.sp)
+	}
+	return NewMatrix(a.M, a.Ndof, layout)
+}
+
+// planFor returns the plan to use for a warm assembly into mat, or nil
+// if this assembly must run cold (no plan yet, or mat does not share the
+// plan's frozen pattern).
+func (a *Assembler) planFor(mat *la.BSRMat, layout Layout) *AssemblyPlan {
+	p := a.plans[planIdx(layout)]
+	if p == nil || !mat.Finalized() || mat.Sparsity() != p.sp {
+		return nil
+	}
+	return p
+}
+
+// finishCold freezes the matrix after a cold assembly and builds the
+// layout's plan from the frozen pattern if none exists yet.
+func (a *Assembler) finishCold(mat *la.BSRMat, layout Layout) {
+	mat.Finalize()
+	if a.plans[planIdx(layout)] == nil {
+		a.plans[planIdx(layout)] = a.buildPlan(layout, mat.Sparsity())
+	}
+}
 
 // AssembleMatrix runs the element loop with the node-major kernel and
 // accumulates into mat using the requested layout (LayoutAIJ or
 // LayoutBAIJ). Contributions to rows owned remotely are exchanged with
-// NBX at the end (PETSc's off-process assembly). Collective.
+// NBX at the end (PETSc's off-process assembly). The first assembly per
+// layout builds the sparsity through the COO map and precomputes the
+// assembly plan; subsequent assemblies into plan-pattern matrices are
+// plan-driven (no map operations, sharded across workers). Collective.
 func (a *Assembler) AssembleMatrix(mat *la.BSRMat, layout Layout, kern NodeMajorKernel) {
 	if layout == LayoutZipped {
 		panic("fem: use AssembleMatrixZipped for the zipped layout")
 	}
-	off := newOffProcBuf()
-	for e := 0; e < a.M.NumElems(); e++ {
-		for i := range a.ke {
-			a.ke[i] = 0
-		}
-		kern(e, a.M.ElemSize(e), a.ke)
-		a.scatterKe(mat, layout, e, off)
+	if plan := a.planFor(mat, layout); plan != nil {
+		a.assembleWarm(mat, plan, kern, nil)
+		return
 	}
-	a.flushOffProc(mat, layout, off)
+	a.off.reset()
+	ws := &a.ws[0]
+	for e := 0; e < a.M.NumElems(); e++ {
+		for i := range ws.ke {
+			ws.ke[i] = 0
+		}
+		kern(0, e, a.M.ElemSize(e), ws.ke)
+		a.scatterKe(mat, layout, e)
+	}
+	a.flushOffProc(mat, layout)
+	a.finishCold(mat, layout)
 }
 
 // AssembleMatrixZipped runs the element loop with a zipped kernel; blocks
-// are unzipped per node pair straight into BAIJ block writes. Collective.
+// are unzipped per node pair straight into BAIJ block writes. Shares the
+// cold-then-plan lifecycle of AssembleMatrix. Collective.
 func (a *Assembler) AssembleMatrixZipped(mat *la.BSRMat, kern ZippedKernel) {
-	off := newOffProcBuf()
+	if plan := a.planFor(mat, LayoutZipped); plan != nil {
+		a.assembleWarm(mat, plan, nil, kern)
+		return
+	}
+	a.off.reset()
+	ws := &a.ws[0]
 	npe := a.Ref.NPE
 	nd := a.Ndof
 	for e := 0; e < a.M.NumElems(); e++ {
-		for _, b := range a.blocks {
+		for _, b := range ws.blocks {
 			for i := range b {
 				b[i] = 0
 			}
 		}
-		kern(e, a.M.ElemSize(e), a.blocks)
+		kern(0, e, a.M.ElemSize(e), ws.blocks)
 		// Unzip per node pair: gather the ndof x ndof block for (a,b)
 		// from the contiguous dof-pair blocks.
 		cpe := a.M.CornersPerElem()
@@ -125,19 +279,146 @@ func (a *Assembler) AssembleMatrixZipped(mat *la.BSRMat, kern ZippedKernel) {
 				conB := &a.M.Conn[e*cpe+cb]
 				for di := 0; di < nd; di++ {
 					for dj := 0; dj < nd; dj++ {
-						a.blk[di*nd+dj] = a.blocks[di*nd+dj][ca*npe+cb]
+						ws.blk[di*nd+dj] = ws.blocks[di*nd+dj][ca*npe+cb]
 					}
 				}
-				a.distributeBlock(mat, LayoutBAIJ, conA, conB, a.blk, off)
+				a.distributeBlock(mat, LayoutBAIJ, conA, conB, ws.blk)
 			}
 		}
 	}
-	a.flushOffProc(mat, LayoutBAIJ, off)
+	a.flushOffProc(mat, LayoutBAIJ)
+	a.finishCold(mat, LayoutZipped)
+}
+
+// assembleWarm is the steady-state path: plan-driven flat-array
+// accumulation, sharded across workers. Worker 0 accumulates directly
+// into the matrix values (preserving the cold accumulation order when
+// workers == 1); workers 1..n-1 accumulate into private buffers merged
+// afterwards in worker order.
+func (a *Assembler) assembleWarm(mat *la.BSRMat, plan *AssemblyPlan, kern NodeMajorKernel, zkern ZippedKernel) {
+	n := a.M.NumElems()
+	nw := a.workers
+	if nw > n {
+		nw = n
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	a.ensureWorkers(nw)
+	vals := mat.Vals()
+	if nw == 1 {
+		a.runShard(0, 0, n, vals, plan, kern, zkern)
+	} else {
+		var wg sync.WaitGroup
+		for w := 1; w < nw; w++ {
+			lo, hi := w*n/nw, (w+1)*n/nw
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				// Allocate/zero the accumulation buffer inside the worker so
+				// the O(nnz) memset parallelizes instead of serializing the
+				// launch; the merge after wg.Wait() observes it safely.
+				ws := &a.ws[w]
+				if len(ws.vals) != len(vals) {
+					ws.vals = make([]float64, len(vals))
+				} else {
+					for i := range ws.vals {
+						ws.vals[i] = 0
+					}
+				}
+				a.runShard(w, lo, hi, ws.vals, plan, kern, zkern)
+			}(w, lo, hi)
+		}
+		a.runShard(0, 0, n/nw, vals, plan, kern, zkern)
+		wg.Wait()
+		// Merge the worker buffers into vals, sharded by index range so the
+		// merge itself parallelizes; every index still sums workers in
+		// order 1..nw-1, keeping the result independent of merge scheduling.
+		mergeRange := func(lo, hi int) {
+			for w := 1; w < nw; w++ {
+				buf := a.ws[w].vals
+				for i := lo; i < hi; i++ {
+					vals[i] += buf[i]
+				}
+			}
+		}
+		nv := len(vals)
+		var mg sync.WaitGroup
+		for s := 1; s < nw; s++ {
+			lo, hi := s*nv/nw, (s+1)*nv/nw
+			mg.Add(1)
+			go func(lo, hi int) {
+				defer mg.Done()
+				mergeRange(lo, hi)
+			}(lo, hi)
+		}
+		mergeRange(0, nv/nw)
+		mg.Wait()
+	}
+	a.flushPlanned(mat, plan)
+}
+
+// runShard assembles elements [e0,e1) with worker w's scratch,
+// accumulating local contributions into vals and off-process ones into
+// the plan's preallocated rank buffers (each plan entry is written by
+// exactly one element, so shards never contend).
+func (a *Assembler) runShard(w, e0, e1 int, vals []float64, plan *AssemblyPlan, kern NodeMajorKernel, zkern ZippedKernel) {
+	m := a.M
+	ws := &a.ws[w]
+	cpe := m.CornersPerElem()
+	nd := a.Ndof
+	npe := a.Ref.NPE
+	n := npe * nd
+	blk := ws.blk
+	idx := plan.elemOff[e0]
+	for e := e0; e < e1; e++ {
+		h := m.ElemSize(e)
+		if kern != nil {
+			ke := ws.ke
+			for i := range ke {
+				ke[i] = 0
+			}
+			kern(w, e, h, ke)
+			for ca := 0; ca < cpe; ca++ {
+				conA := &m.Conn[e*cpe+ca]
+				for cb := 0; cb < cpe; cb++ {
+					conB := &m.Conn[e*cpe+cb]
+					for di := 0; di < nd; di++ {
+						for dj := 0; dj < nd; dj++ {
+							blk[di*nd+dj] = ke[(ca*nd+di)*n+cb*nd+dj]
+						}
+					}
+					idx = plan.applyBlock(vals, idx, int(conA.N)*int(conB.N), blk, nd)
+				}
+			}
+		} else {
+			blocks := ws.blocks
+			for _, b := range blocks {
+				for i := range b {
+					b[i] = 0
+				}
+			}
+			zkern(w, e, h, blocks)
+			for ca := 0; ca < cpe; ca++ {
+				conA := &m.Conn[e*cpe+ca]
+				for cb := 0; cb < cpe; cb++ {
+					conB := &m.Conn[e*cpe+cb]
+					for di := 0; di < nd; di++ {
+						for dj := 0; dj < nd; dj++ {
+							blk[di*nd+dj] = blocks[di*nd+dj][ca*npe+cb]
+						}
+					}
+					idx = plan.applyBlock(vals, idx, int(conA.N)*int(conB.N), blk, nd)
+				}
+			}
+		}
+	}
 }
 
 // scatterKe distributes the node-major elemental matrix through the
-// hanging constraints into mat.
-func (a *Assembler) scatterKe(mat *la.BSRMat, layout Layout, e int, off *offProcBuf) {
+// hanging constraints into mat (cold path).
+func (a *Assembler) scatterKe(mat *la.BSRMat, layout Layout, e int) {
+	ws := &a.ws[0]
 	cpe := a.M.CornersPerElem()
 	nd := a.Ndof
 	n := a.Ref.NPE * nd
@@ -148,10 +429,10 @@ func (a *Assembler) scatterKe(mat *la.BSRMat, layout Layout, e int, off *offProc
 			// Extract the ndof x ndof corner block from node-major Ke.
 			for di := 0; di < nd; di++ {
 				for dj := 0; dj < nd; dj++ {
-					a.blk[di*nd+dj] = a.ke[(ca*nd+di)*n+cb*nd+dj]
+					ws.blk[di*nd+dj] = ws.ke[(ca*nd+di)*n+cb*nd+dj]
 				}
 			}
-			a.distributeBlock(mat, layout, conA, conB, a.blk, off)
+			a.distributeBlock(mat, layout, conA, conB, ws.blk)
 		}
 	}
 }
@@ -159,7 +440,7 @@ func (a *Assembler) scatterKe(mat *la.BSRMat, layout Layout, e int, off *offProc
 // distributeBlock adds blk (ndof x ndof) at every donor pair of the two
 // constraints, weighted, routing remotely-owned rows to the off-process
 // buffer.
-func (a *Assembler) distributeBlock(mat *la.BSRMat, layout Layout, conA, conB *mesh.Constraint, blk []float64, off *offProcBuf) {
+func (a *Assembler) distributeBlock(mat *la.BSRMat, layout Layout, conA, conB *mesh.Constraint, blk []float64) {
 	m := a.M
 	nd := a.Ndof
 	me := int32(m.Comm.Rank())
@@ -176,7 +457,7 @@ func (a *Assembler) distributeBlock(mat *la.BSRMat, layout Layout, conA, conB *m
 				for k := 0; k < nd*nd; k++ {
 					ent.V[k] = w * blk[k]
 				}
-				off.add(int(m.Owner[rowNode]), ent)
+				a.off.add(int(m.Owner[rowNode]), ent)
 				continue
 			}
 			switch layout {
@@ -202,31 +483,62 @@ func (a *Assembler) distributeBlock(mat *la.BSRMat, layout Layout, conA, conB *m
 	}
 }
 
+// offProcBuf buffers remote-row contributions per destination rank. One
+// buffer lives on the Assembler and is reset (capacity kept) between
+// assemblies instead of reallocated.
 type offProcBuf struct {
-	perRank map[int][]offProc
+	dests []int
+	bufs  [][]offProc
+	pos   map[int]int // rank -> index into dests/bufs
 }
 
-func newOffProcBuf() *offProcBuf { return &offProcBuf{perRank: map[int][]offProc{}} }
+func newOffProcBuf() *offProcBuf { return &offProcBuf{pos: map[int]int{}} }
 
-func (b *offProcBuf) add(rank int, e offProc) { b.perRank[rank] = append(b.perRank[rank], e) }
+// reset empties every per-destination slice, keeping capacity and the
+// destination set (the neighbour ranks of a fixed mesh do not change).
+func (b *offProcBuf) reset() {
+	for i := range b.bufs {
+		b.bufs[i] = b.bufs[i][:0]
+	}
+}
+
+func (b *offProcBuf) add(rank int, e offProc) {
+	i, ok := b.pos[rank]
+	if !ok {
+		i = len(b.dests)
+		b.pos[rank] = i
+		b.dests = append(b.dests, rank)
+		b.bufs = append(b.bufs, nil)
+	}
+	b.bufs[i] = append(b.bufs[i], e)
+}
+
+// srcOrder returns indices of srcs in ascending source-rank order, so
+// received contributions are applied in a deterministic order regardless
+// of message arrival (required for warm reassembly to reproduce the cold
+// values bit for bit).
+func srcOrder(srcs []int) []int {
+	order := make([]int, len(srcs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return srcs[order[i]] < srcs[order[j]] })
+	return order
+}
 
 // flushOffProc exchanges buffered remote-row contributions and applies the
-// received ones locally.
-func (a *Assembler) flushOffProc(mat *la.BSRMat, layout Layout, off *offProcBuf) {
+// received ones locally (cold path). The trailing barrier lets senders
+// safely reuse their buffers next assembly: payloads travel by reference
+// in the in-process runtime.
+func (a *Assembler) flushOffProc(mat *la.BSRMat, layout Layout) {
 	c := a.M.Comm
 	if c.Size() == 1 {
 		return
 	}
-	dests := make([]int, 0, len(off.perRank))
-	bufs := make([][]offProc, 0, len(off.perRank))
-	for r, lst := range off.perRank {
-		dests = append(dests, r)
-		bufs = append(bufs, lst)
-	}
-	_, recvd := par.NBXExchange(c, dests, bufs)
+	srcs, recvd := par.NBXExchange(c, a.off.dests, a.off.bufs)
 	nd := a.Ndof
-	for _, batch := range recvd {
-		for _, ent := range batch {
+	for _, bi := range srcOrder(srcs) {
+		for _, ent := range recvd[bi] {
 			rowNode, ok := a.M.NodeIndex(ent.Row)
 			if !ok {
 				panic(fmt.Sprintf("fem: off-process row %v unknown on owner", ent.Row))
@@ -246,6 +558,24 @@ func (a *Assembler) flushOffProc(mat *la.BSRMat, layout Layout, off *offProcBuf)
 			}
 		}
 	}
+	c.Barrier()
+}
+
+// flushPlanned exchanges the plan's prefilled off-process buffers and
+// applies received contributions through per-source receive plans
+// (precomputed slots, no node-index map lookups after the first flush).
+func (a *Assembler) flushPlanned(mat *la.BSRMat, plan *AssemblyPlan) {
+	c := a.M.Comm
+	if c.Size() == 1 {
+		return
+	}
+	srcs, recvd := par.NBXExchange(c, plan.offDests, plan.offBufs)
+	vals := mat.Vals()
+	for _, bi := range srcOrder(srcs) {
+		rp := plan.recvPlanFor(a, srcs[bi], recvd[bi])
+		rp.apply(vals, recvd[bi], plan.scalar, a.Ndof)
+	}
+	c.Barrier()
 }
 
 // VecKernel fills the node-major elemental vector fe[a*ndof+d].

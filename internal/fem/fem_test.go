@@ -238,7 +238,7 @@ func TestAssemblyLayoutsAgree(t *testing.T) {
 				asm := NewAssembler(m, ndof)
 				r := asm.Ref
 				npe := r.NPE
-				loopKern := func(e int, h float64, ke []float64) {
+				loopKern := func(w, e int, h float64, ke []float64) {
 					// dof 0: mass + stiffness; dof 1: mass; coupling 0-1: 0.3*mass.
 					blocks := make([][]float64, ndof*ndof)
 					for i := range blocks {
@@ -250,16 +250,16 @@ func TestAssemblyLayoutsAgree(t *testing.T) {
 					r.Mass(h, 1, blocks[3])
 					UnzipMat(ndof, npe, blocks, ke)
 				}
-				zipKern := func(e int, h float64, blocks [][]float64) {
-					w := asm.Work()
-					r.MassGemm(w, h, 1, nil, blocks[0])
+				zipKern := func(w, e int, h float64, blocks [][]float64) {
+					wk := asm.WorkN(w)
+					r.MassGemm(wk, h, 1, nil, blocks[0])
 					tmp := make([]float64, npe*npe)
-					r.StiffGemm(w, h, 1, nil, tmp)
+					r.StiffGemm(wk, h, 1, nil, tmp)
 					for i := range tmp {
 						blocks[0][i] += tmp[i]
 					}
-					r.MassGemm(w, h, 0.3, nil, blocks[1])
-					r.MassGemm(w, h, 1, nil, blocks[3])
+					r.MassGemm(wk, h, 0.3, nil, blocks[1])
+					r.MassGemm(wk, h, 1, nil, blocks[3])
 				}
 				aij := NewMatrix(m, ndof, LayoutAIJ)
 				baij := NewMatrix(m, ndof, LayoutBAIJ)
@@ -304,7 +304,7 @@ func solvePoisson(c *par.Comm, dim, base, fine int) float64 {
 	}
 	asm := NewAssembler(m, 1)
 	K := NewMatrix(m, 1, LayoutBAIJ)
-	asm.AssembleMatrix(K, LayoutBAIJ, func(e int, h float64, ke []float64) {
+	asm.AssembleMatrix(K, LayoutBAIJ, func(w, e int, h float64, ke []float64) {
 		asm.Ref.Stiffness(h, 1, ke)
 	})
 	b := m.NewVec(1)

@@ -1,0 +1,180 @@
+package fem
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"proteus/internal/la"
+	"proteus/internal/par"
+)
+
+// planTestKernels builds deterministic, element-dependent ndof=2 kernels
+// with per-worker scratch, so they are valid under the sharded element
+// loop and produce bit-identical elemental matrices on every invocation.
+func planTestKernels(asm *Assembler, nw int) (NodeMajorKernel, ZippedKernel) {
+	r := asm.Ref
+	npe := r.NPE
+	type scr struct {
+		blocks [][]float64
+		tmp    []float64
+	}
+	ws := make([]scr, nw)
+	for i := range ws {
+		ws[i].blocks = make([][]float64, 4)
+		for j := range ws[i].blocks {
+			ws[i].blocks[j] = make([]float64, npe*npe)
+		}
+		ws[i].tmp = make([]float64, npe*npe)
+	}
+	loop := func(w, e int, h float64, ke []float64) {
+		sc := &ws[w]
+		c := 1 + 0.1*float64(e%7)
+		for _, b := range sc.blocks {
+			for i := range b {
+				b[i] = 0
+			}
+		}
+		r.Mass(h, c, sc.blocks[0])
+		r.Stiffness(h, 1, sc.blocks[0])
+		r.Mass(h, 0.3*c, sc.blocks[1])
+		r.Mass(h, c, sc.blocks[3])
+		UnzipMat(2, npe, sc.blocks, ke)
+	}
+	zipped := func(w, e int, h float64, blocks [][]float64) {
+		sc := &ws[w]
+		c := 1 + 0.1*float64(e%7)
+		wk := asm.WorkN(w)
+		r.MassGemm(wk, h, c, nil, blocks[0])
+		r.StiffGemm(wk, h, 1, nil, sc.tmp)
+		for i := range sc.tmp {
+			blocks[0][i] += sc.tmp[i]
+		}
+		r.MassGemm(wk, h, 0.3*c, nil, blocks[1])
+		r.MassGemm(wk, h, c, nil, blocks[3])
+	}
+	return loop, zipped
+}
+
+func assembleOnce(asm *Assembler, mat *la.BSRMat, layout Layout, loop NodeMajorKernel, zipped ZippedKernel) {
+	if layout == LayoutZipped {
+		asm.AssembleMatrixZipped(mat, zipped)
+	} else {
+		asm.AssembleMatrix(mat, layout, loop)
+	}
+}
+
+// TestWarmAssemblyMatchesColdBitwise is the plan-correctness contract:
+// warm (plan-driven) reassembly must reproduce the first (COO-map based)
+// assembly bit for bit, for all three layouts, in 2D and 3D, on meshes
+// with hanging-node constraints, serially and across ranks (exercising
+// the prefilled off-process buffers and the receive-slot cache). Workers
+// are pinned to 1 because shard merging legitimately reorders floating-
+// point accumulation (see TestParallelWorkersMatchSerial).
+func TestWarmAssemblyMatchesColdBitwise(t *testing.T) {
+	for _, dim := range []int{2, 3} {
+		for _, p := range []int{1, 3} {
+			for _, layout := range []Layout{LayoutAIJ, LayoutBAIJ, LayoutZipped} {
+				par.Run(p, func(c *par.Comm) {
+					m := buildMesh(c, dim, 2, 4)
+					if got := m.GlobalSum(float64(m.HangingCorners)); got == 0 {
+						panic("plan test mesh has no hanging constraints")
+					}
+					asm := NewAssembler(m, 2)
+					asm.SetWorkers(1)
+					loop, zipped := planTestKernels(asm, 1)
+
+					mat := NewMatrix(m, 2, layout)
+					assembleOnce(asm, mat, layout, loop, zipped)
+					if asm.Plan(layout) == nil {
+						panic("cold assembly did not build a plan")
+					}
+					cold := append([]float64(nil), mat.Vals()...)
+
+					// Warm reassembly into the same matrix.
+					mat.Zero()
+					assembleOnce(asm, mat, layout, loop, zipped)
+					mustBitwise(c, "warm-reassembly", dim, p, layout, cold, mat.Vals())
+
+					// A second matrix born from the plan's frozen pattern
+					// takes the warm path on its very first assembly.
+					mat2 := asm.NewMatrix(layout)
+					if !mat2.Finalized() || mat2.Sparsity() != mat.Sparsity() {
+						panic("Assembler.NewMatrix did not share the frozen sparsity")
+					}
+					assembleOnce(asm, mat2, layout, loop, zipped)
+					mustBitwise(c, "fresh-shared-matrix", dim, p, layout, cold, mat2.Vals())
+				})
+			}
+		}
+	}
+}
+
+func mustBitwise(c *par.Comm, what string, dim, p int, layout Layout, want, got []float64) {
+	if len(want) != len(got) {
+		panic(fmt.Sprintf("%s dim=%d p=%d layout=%d: value count %d != %d", what, dim, p, layout, len(got), len(want)))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			panic(fmt.Sprintf("%s dim=%d p=%d layout=%d rank=%d: vals[%d] = %v, cold %v (diff %g)",
+				what, dim, p, layout, c.Rank(), i, got[i], want[i], got[i]-want[i]))
+		}
+	}
+}
+
+// TestParallelWorkersMatchSerial checks the sharded element loop: the
+// merged per-worker accumulation must agree with the serial warm path to
+// roundoff (shard merging reorders the additions, so equality is to a
+// tolerance, not bitwise).
+func TestParallelWorkersMatchSerial(t *testing.T) {
+	for _, layout := range []Layout{LayoutBAIJ, LayoutZipped, LayoutAIJ} {
+		par.Run(1, func(c *par.Comm) {
+			m := buildMesh(c, 2, 2, 4)
+			asm := NewAssembler(m, 2)
+			asm.SetWorkers(1)
+			loop, zipped := planTestKernels(asm, 4)
+
+			mat := NewMatrix(m, 2, layout)
+			assembleOnce(asm, mat, layout, loop, zipped) // cold
+			mat.Zero()
+			assembleOnce(asm, mat, layout, loop, zipped) // warm serial
+			serial := append([]float64(nil), mat.Vals()...)
+
+			asm.SetWorkers(4)
+			mat.Zero()
+			assembleOnce(asm, mat, layout, loop, zipped) // warm sharded
+			got := mat.Vals()
+			for i := range serial {
+				diff := math.Abs(serial[i] - got[i])
+				tol := 1e-12 * (1 + math.Abs(serial[i]))
+				if diff > tol {
+					panic(fmt.Sprintf("layout=%d vals[%d]: serial %v parallel %v", layout, i, serial[i], got[i]))
+				}
+			}
+		})
+	}
+}
+
+// TestWarmAssemblyZeroAllocs verifies the acceptance criterion that the
+// steady-state element loop performs no map operations and no per-element
+// heap allocation: a whole warm reassembly allocates nothing.
+func TestWarmAssemblyZeroAllocs(t *testing.T) {
+	for _, layout := range []Layout{LayoutBAIJ, LayoutZipped, LayoutAIJ} {
+		var allocs float64
+		par.Run(1, func(c *par.Comm) {
+			m := buildMesh(c, 2, 2, 4)
+			asm := NewAssembler(m, 2)
+			asm.SetWorkers(1)
+			loop, zipped := planTestKernels(asm, 1)
+			mat := NewMatrix(m, 2, layout)
+			assembleOnce(asm, mat, layout, loop, zipped) // cold: builds the plan
+			allocs = testing.AllocsPerRun(10, func() {
+				mat.Zero()
+				assembleOnce(asm, mat, layout, loop, zipped)
+			})
+		})
+		if allocs != 0 {
+			t.Fatalf("layout=%d: warm assembly allocates %v times per run, want 0", layout, allocs)
+		}
+	}
+}

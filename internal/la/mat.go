@@ -52,9 +52,10 @@ type BSRMat struct {
 	// Assembly state (COO map) until Finalize; then CSR arrays.
 	build map[[2]int32][]float64
 
-	indptr []int32
-	cols   []int32
-	vals   []float64 // len(cols) * Bs * Bs, block-major row-major blocks
+	// sp is the frozen index structure after Finalize. It may be shared
+	// with other matrices of the same pattern (see NewBAIJFromSparsity).
+	sp   *Sparsity
+	vals []float64 // sp.NNZ() * Bs * Bs, block-major row-major blocks
 
 	finalized bool
 }
@@ -77,8 +78,55 @@ func NewAIJ(scatter Scatter, ndof, ownedNodes, localNodes int) *BSRMat {
 	}
 }
 
+// NewBAIJFromSparsity returns a finalized block matrix sharing the frozen
+// pattern sp, with all values zero. Assembly into it must hit existing
+// slots (AddBlockAt or pattern-preserving AddBlock), the warm path of a
+// persistent-sparsity time loop.
+func NewBAIJFromSparsity(scatter Scatter, bs, ownedNodes, localNodes int, sp *Sparsity) *BSRMat {
+	return &BSRMat{
+		Bs: bs, NRowNodes: ownedNodes, NColNodes: localNodes,
+		scatterDof: bs, scatter: scatter,
+		sp: sp, vals: make([]float64, sp.NNZ()*bs*bs), finalized: true,
+	}
+}
+
+// NewAIJFromSparsity is the scalar-CSR analogue of NewBAIJFromSparsity:
+// sp indexes the flattened node*ndof rows/columns.
+func NewAIJFromSparsity(scatter Scatter, ndof, ownedNodes, localNodes int, sp *Sparsity) *BSRMat {
+	return &BSRMat{
+		Bs: 1, NRowNodes: ownedNodes * ndof, NColNodes: localNodes * ndof,
+		scatterDof: ndof, scatter: scatter,
+		sp: sp, vals: make([]float64, sp.NNZ()), finalized: true,
+	}
+}
+
 // Rows implements Operator.
 func (m *BSRMat) Rows() int { return m.NRowNodes * m.Bs }
+
+// Sparsity returns the frozen index structure (nil before Finalize).
+func (m *BSRMat) Sparsity() *Sparsity { return m.sp }
+
+// Vals exposes the value array of a finalized matrix for plan-driven
+// accumulation; slot j's block occupies vals[j*Bs*Bs:(j+1)*Bs*Bs].
+func (m *BSRMat) Vals() []float64 {
+	if !m.finalized {
+		m.Finalize()
+	}
+	return m.vals
+}
+
+// Finalized reports whether the matrix has frozen CSR structure.
+func (m *BSRMat) Finalized() bool { return m.finalized }
+
+// AddBlockAt accumulates a Bs x Bs block at a precomputed slot: the fast
+// path of plan-driven assembly, with no map lookup or column search.
+func (m *BSRMat) AddBlockAt(slot int, block []float64) {
+	base := slot * m.Bs * m.Bs
+	dst := m.vals[base : base+m.Bs*m.Bs]
+	for i, v := range block {
+		dst[i] += v
+	}
+}
 
 // FullLen implements Operator.
 func (m *BSRMat) FullLen() int { return m.NColNodes * m.Bs }
@@ -138,18 +186,11 @@ func (m *BSRMat) AddValue(row, col int, v float64) {
 }
 
 func (m *BSRMat) addFinalized(rowNode, colNode int, block []float64) {
-	bs2 := m.Bs * m.Bs
-	lo, hi := m.indptr[rowNode], m.indptr[rowNode+1]
-	for j := lo; j < hi; j++ {
-		if m.cols[j] == int32(colNode) {
-			base := int(j) * bs2
-			for i := 0; i < bs2; i++ {
-				m.vals[base+i] += block[i]
-			}
-			return
-		}
+	slot := m.sp.FindSlot(rowNode, colNode)
+	if slot < 0 {
+		panic(fmt.Sprintf("la: block (%d,%d) not in finalized sparsity", rowNode, colNode))
 	}
-	panic(fmt.Sprintf("la: block (%d,%d) not in finalized sparsity", rowNode, colNode))
+	m.AddBlockAt(slot, block)
 }
 
 // Finalize converts the assembly map into CSR arrays. Subsequent AddBlock
@@ -173,17 +214,21 @@ func (m *BSRMat) Finalize() {
 		return keys[i].c < keys[j].c
 	})
 	bs2 := m.Bs * m.Bs
-	m.indptr = make([]int32, m.NRowNodes+1)
-	m.cols = make([]int32, len(keys))
+	sp := &Sparsity{
+		NRows:  m.NRowNodes,
+		Indptr: make([]int32, m.NRowNodes+1),
+		Cols:   make([]int32, len(keys)),
+	}
 	m.vals = make([]float64, len(keys)*bs2)
 	for i, k := range keys {
-		m.indptr[k.r+1]++
-		m.cols[i] = k.c
+		sp.Indptr[k.r+1]++
+		sp.Cols[i] = k.c
 		copy(m.vals[i*bs2:(i+1)*bs2], m.build[[2]int32{k.r, k.c}])
 	}
 	for r := 0; r < m.NRowNodes; r++ {
-		m.indptr[r+1] += m.indptr[r]
+		sp.Indptr[r+1] += sp.Indptr[r]
 	}
+	m.sp = sp
 	m.build = nil
 	m.finalized = true
 }
@@ -206,8 +251,8 @@ func (m *BSRMat) Apply(x, y []float64) {
 		for i := range a {
 			a[i] = 0
 		}
-		for j := m.indptr[r]; j < m.indptr[r+1]; j++ {
-			c := int(m.cols[j]) * bs
+		for j := m.sp.Indptr[r]; j < m.sp.Indptr[r+1]; j++ {
+			c := int(m.sp.Cols[j]) * bs
 			blk := m.vals[int(j)*bs2 : int(j+1)*bs2]
 			for bi := 0; bi < bs; bi++ {
 				s := a[bi]
@@ -232,12 +277,12 @@ func (m *BSRMat) ZeroRow(row int, diag float64) {
 	bs := m.Bs
 	bs2 := bs * bs
 	rn, rd := row/bs, row%bs
-	for j := m.indptr[rn]; j < m.indptr[rn+1]; j++ {
+	for j := m.sp.Indptr[rn]; j < m.sp.Indptr[rn+1]; j++ {
 		blk := m.vals[int(j)*bs2 : int(j+1)*bs2]
 		for bj := 0; bj < bs; bj++ {
 			blk[rd*bs+bj] = 0
 		}
-		if int(m.cols[j]) == rn {
+		if int(m.sp.Cols[j]) == rn {
 			blk[rd*bs+rd] = diag
 		}
 	}
@@ -252,8 +297,8 @@ func (m *BSRMat) DiagBlocks() []float64 {
 	bs2 := m.Bs * m.Bs
 	out := make([]float64, m.NRowNodes*bs2)
 	for r := 0; r < m.NRowNodes; r++ {
-		for j := m.indptr[r]; j < m.indptr[r+1]; j++ {
-			if int(m.cols[j]) == r {
+		for j := m.sp.Indptr[r]; j < m.sp.Indptr[r+1]; j++ {
+			if int(m.sp.Cols[j]) == r {
 				copy(out[r*bs2:(r+1)*bs2], m.vals[int(j)*bs2:int(j+1)*bs2])
 			}
 		}
@@ -266,7 +311,7 @@ func (m *BSRMat) NNZBlocks() int {
 	if !m.finalized {
 		return len(m.build)
 	}
-	return len(m.cols)
+	return len(m.sp.Cols)
 }
 
 // LocalCSR extracts the owned×owned scalar submatrix (dropping ghost
@@ -282,8 +327,8 @@ func (m *BSRMat) LocalCSR() (indptr []int32, cols []int32, vals []float64, n int
 	bs2 := bs * bs
 	// Count then fill.
 	for r := 0; r < m.NRowNodes; r++ {
-		for j := m.indptr[r]; j < m.indptr[r+1]; j++ {
-			if int(m.cols[j]) < m.NRowNodes {
+		for j := m.sp.Indptr[r]; j < m.sp.Indptr[r+1]; j++ {
+			if int(m.sp.Cols[j]) < m.NRowNodes {
 				for bi := 0; bi < bs; bi++ {
 					indptr[r*bs+bi+1] += int32(bs)
 				}
@@ -298,8 +343,8 @@ func (m *BSRMat) LocalCSR() (indptr []int32, cols []int32, vals []float64, n int
 	fill := make([]int32, n)
 	copy(fill, indptr[:n])
 	for r := 0; r < m.NRowNodes; r++ {
-		for j := m.indptr[r]; j < m.indptr[r+1]; j++ {
-			cn := int(m.cols[j])
+		for j := m.sp.Indptr[r]; j < m.sp.Indptr[r+1]; j++ {
+			cn := int(m.sp.Cols[j])
 			if cn >= m.NRowNodes {
 				continue
 			}

@@ -1,0 +1,42 @@
+package la
+
+// Sparsity is the frozen index structure of a block-CSR matrix: row
+// pointers and sorted column indices, with no values. It is immutable
+// after construction, so every operator assembled on the same mesh with
+// the same layout can share one Sparsity — the PETSc analogue is reusing
+// a MatDuplicate(MAT_SHARE_NONZERO_PATTERN) pattern across time steps.
+//
+// Slots are positions into the column array: the Bs x Bs value block of
+// the j-th stored entry lives at vals[j*Bs*Bs : (j+1)*Bs*Bs]. Assembly
+// plans precompute slots once and then write values with no map lookup
+// or search on the hot path.
+type Sparsity struct {
+	NRows  int // block rows
+	Indptr []int32
+	Cols   []int32
+}
+
+// NNZ returns the stored (block) entry count.
+func (s *Sparsity) NNZ() int { return len(s.Cols) }
+
+// RowLen returns the stored entry count of block row r.
+func (s *Sparsity) RowLen(r int) int { return int(s.Indptr[r+1] - s.Indptr[r]) }
+
+// FindSlot returns the slot of entry (row, col) by binary search within
+// the row, or -1 if the pattern does not contain it. This is the
+// plan-construction path; steady-state assembly never calls it.
+func (s *Sparsity) FindSlot(row, col int) int {
+	lo, hi := s.Indptr[row], s.Indptr[row+1]
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if s.Cols[mid] < int32(col) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < s.Indptr[row+1] && s.Cols[lo] == int32(col) {
+		return int(lo)
+	}
+	return -1
+}
