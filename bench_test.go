@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -185,6 +186,137 @@ func BenchmarkAssemblyCold_Zipped(b *testing.B) { benchAssemblyPlan(b, fem.Layou
 func BenchmarkAssemblyWarm_AIJ(b *testing.B)    { benchAssemblyPlan(b, fem.LayoutAIJ, true) }
 func BenchmarkAssemblyWarm_BAIJ(b *testing.B)   { benchAssemblyPlan(b, fem.LayoutBAIJ, true) }
 func BenchmarkAssemblyWarm_Zipped(b *testing.B) { benchAssemblyPlan(b, fem.LayoutZipped, true) }
+
+// ---------------------------------------------------------------------------
+// Solve persistence — the Table I "Solve" column treatment (PR 2): warm
+// KSP solves on a persistent workspace, with SpMV, dots and axpy kernels
+// sharded across a worker pool. Serial and sharded paths are bitwise
+// identical (row-partitioned SpMV, chunk-canonical dots); the sharded
+// run must show a multi-core speedup, and the warm solve must report
+// 0 allocs/op (-benchmem).
+// ---------------------------------------------------------------------------
+
+// benchSystem builds a banded SPD block system of the given block size:
+// nodes block rows with a pentadiagonal block pattern, diagonally
+// dominant.
+func benchSystem(nodes, bs int) *la.BSRMat {
+	m := la.NewBAIJ(nil, bs, nodes, nodes)
+	blk := make([]float64, bs*bs)
+	for rn := 0; rn < nodes; rn++ {
+		for _, off := range []int{-2, -1, 0, 1, 2} {
+			cn := rn + off
+			if cn < 0 || cn >= nodes {
+				continue
+			}
+			for i := range blk {
+				blk[i] = -0.1
+			}
+			for d := 0; d < bs; d++ {
+				if off == 0 {
+					blk[d*bs+d] = 8
+				} else {
+					blk[d*bs+d] = -1
+				}
+			}
+			m.AddBlock(rn, cn, blk)
+		}
+	}
+	m.Finalize()
+	return m
+}
+
+func benchSpMV(b *testing.B, workers int) {
+	const nodes, bs = 60000, 4
+	m := benchSystem(nodes, bs)
+	if workers > 1 {
+		pool := par.NewPool(workers)
+		defer pool.Close()
+		m.SetPool(pool)
+	}
+	x := make([]float64, nodes*bs)
+	y := make([]float64, nodes*bs)
+	for i := range x {
+		x[i] = float64(i%23) - 11
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Apply(x, y)
+	}
+	b.ReportMetric(float64(nodes), "block-rows")
+}
+
+func BenchmarkSpMV_Serial(b *testing.B)  { benchSpMV(b, 1) }
+func BenchmarkSpMV_Sharded(b *testing.B) { benchSpMV(b, 0+runtimeWorkers()) }
+
+func runtimeWorkers() int { return runtime.GOMAXPROCS(0) }
+
+func benchKSPWarm(b *testing.B, method la.Method, workers int) {
+	const nodes, bs = 60000, 4
+	m := benchSystem(nodes, bs)
+	var pool *par.Pool
+	if workers > 1 {
+		pool = par.NewPool(workers)
+		defer pool.Close()
+		m.SetPool(pool)
+	}
+	n := nodes * bs
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = math.Sin(0.001 * float64(i))
+	}
+	x := make([]float64, n)
+	k := &la.KSP{Op: m, PC: la.NewPCPBJacobi(m), Type: method, Pool: pool, Rtol: 1e-8}
+	res := k.Solve(rhs, x) // cold: allocates the workspace
+	if !res.Converged {
+		b.Fatalf("%s did not converge: %+v", method, res)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range x {
+			x[j] = 0
+		}
+		k.Solve(rhs, x)
+	}
+	b.ReportMetric(float64(res.Iterations), "its")
+}
+
+// benchKSPCold measures the seeded behavior: a fresh KSP per solve pays
+// the full workspace allocation every time (what every stage did before
+// the persistent solve path).
+func benchKSPCold(b *testing.B, method la.Method) {
+	const nodes, bs = 60000, 4
+	m := benchSystem(nodes, bs)
+	n := nodes * bs
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = math.Sin(0.001 * float64(i))
+	}
+	x := make([]float64, n)
+	pc := la.NewPCPBJacobi(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range x {
+			x[j] = 0
+		}
+		k := &la.KSP{Op: m, PC: pc, Type: method, Rtol: 1e-8}
+		k.Solve(rhs, x)
+	}
+}
+
+func BenchmarkKSPCold_CG(b *testing.B)    { benchKSPCold(b, la.CG) }
+func BenchmarkKSPCold_GMRES(b *testing.B) { benchKSPCold(b, la.GMRES) }
+
+func BenchmarkKSPWarm_CG_Serial(b *testing.B)      { benchKSPWarm(b, la.CG, 1) }
+func BenchmarkKSPWarm_CG_Sharded(b *testing.B)     { benchKSPWarm(b, la.CG, runtimeWorkers()) }
+func BenchmarkKSPWarm_BiCGS_Serial(b *testing.B)   { benchKSPWarm(b, la.BiCGS, 1) }
+func BenchmarkKSPWarm_BiCGS_Sharded(b *testing.B)  { benchKSPWarm(b, la.BiCGS, runtimeWorkers()) }
+func BenchmarkKSPWarm_IBiCGS_Serial(b *testing.B)  { benchKSPWarm(b, la.IBiCGS, 1) }
+func BenchmarkKSPWarm_IBiCGS_Sharded(b *testing.B) { benchKSPWarm(b, la.IBiCGS, runtimeWorkers()) }
+func BenchmarkKSPWarm_GMRES_Serial(b *testing.B)   { benchKSPWarm(b, la.GMRES, 1) }
+func BenchmarkKSPWarm_GMRES_Sharded(b *testing.B)  { benchKSPWarm(b, la.GMRES, runtimeWorkers()) }
 
 // ---------------------------------------------------------------------------
 // Table II — solver/preconditioner configuration. The table itself is a

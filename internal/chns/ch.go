@@ -231,7 +231,14 @@ func (p *chProblem) Jacobian(x []float64) (la.Operator, la.PC) {
 			fem.UnzipMat(2, npe, sc.jblocks, ke)
 		})
 	}
-	return mat, la.NewPCBJacobiILU0(mat)
+	// The preconditioner persists with the operator: refactored in place
+	// from the re-assembled values on every Newton iteration.
+	if s.chPC == nil {
+		s.chPC = la.NewPCBJacobiILU0(mat)
+	} else {
+		s.chPC.Refresh()
+	}
+	return mat, s.chPC
 }
 
 // StepCH advances the Cahn–Hilliard block one time step with the current
@@ -245,11 +252,17 @@ func (s *Solver) StepCH(velOverride []float64) {
 	m := s.M
 	m.GhostRead(s.PhiMu, 2)
 	m.GhostRead(s.Vel, m.Dim)
-	old := append([]float64(nil), s.PhiMu...)
-	p := &chProblem{s: s, old: old, dt: s.Opt.Dt, theta: s.Opt.Theta}
-	nw := &la.Newton{Red: m, KSP: la.BiCGS, Rtol: s.Opt.NonlinTol, Atol: s.Opt.NonlinTol,
-		LinRtol: s.Opt.LinTol, MaxIt: 30}
-	nw.Solve(p, s.PhiMu)
+	if s.chOld == nil {
+		s.chOld = make([]float64, len(s.PhiMu))
+	}
+	copy(s.chOld, s.PhiMu)
+	s.chProb = chProblem{s: s, old: s.chOld, dt: s.Opt.Dt, theta: s.Opt.Theta}
+	if s.chNewton == nil {
+		s.chNewton = &la.Newton{Red: m, KSP: la.BiCGS, Rtol: s.Opt.NonlinTol, Atol: s.Opt.NonlinTol,
+			LinRtol: s.Opt.LinTol, MaxIt: 30, Pool: s.pool}
+	}
+	nw := s.chNewton
+	nw.Solve(&s.chProb, s.PhiMu)
 	m.GhostRead(s.PhiMu, 2)
 	st := &s.T.CH
 	st.Total += time.Since(t0)

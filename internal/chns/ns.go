@@ -139,7 +139,10 @@ func (s *Solver) StepNS() {
 
 	// RHS (serial element loop; scratch hoisted out of the closure).
 	tVec := time.Now()
-	rhs := m.NewVec(dim)
+	if s.nsRHS == nil {
+		s.nsRHS = m.NewVec(dim)
+	}
+	rhs := s.nsRHS
 	pm := make([]float64, npe*2)
 	velC := make([]float64, npe*dim)
 	pC := make([]float64, npe)
@@ -254,9 +257,16 @@ func (s *Solver) StepNS() {
 		}
 	}
 	tSolve := time.Now()
-	ksp := &la.KSP{Op: mat, PC: la.NewPCBJacobiILU0(mat), Red: m,
-		Type: la.BiCGS, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
-	res := ksp.Solve(rhs, s.Vel)
+	// Persistent KSP + PC: the Krylov workspace is allocated on the first
+	// step and reused; the ILU(0) refactors in place from the new values.
+	if s.nsKSP == nil {
+		s.nsPC = la.NewPCBJacobiILU0(mat)
+		s.nsKSP = &la.KSP{Op: mat, PC: s.nsPC, Red: m, Pool: s.pool,
+			Type: la.BiCGS, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
+	} else {
+		s.nsPC.Refresh()
+	}
+	res := s.nsKSP.Solve(rhs, s.Vel)
 	s.T.NS.Solve += time.Since(tSolve)
 	s.T.NS.Iterations += res.Iterations
 	m.GhostRead(s.Vel, dim)

@@ -31,6 +31,10 @@ func newPPScratch(npe, ng int) ppScratch {
 // for the pressure increment ψ, with pure Neumann boundaries; the
 // nullspace is fixed by pinning the first global pressure unknown. The
 // weak form is K_{1/ρ} ψ = -(1/dt) ∫ N ∇·v*.
+//
+// The returned slice is the solver's persistent ψ buffer: it stays valid
+// until the next StepPP (which overwrites it in place) — copy it to
+// retain a snapshot across steps.
 func (s *Solver) StepPP() []float64 {
 	t0 := time.Now()
 	m := s.M
@@ -74,7 +78,10 @@ func (s *Solver) StepPP() []float64 {
 	s.T.PP.Matrix += time.Since(tMat)
 
 	tVec := time.Now()
-	rhs := m.NewVec(1)
+	if s.ppRHS == nil {
+		s.ppRHS = m.NewVec(1)
+	}
+	rhs := s.ppRHS
 	s.asmS.AssembleVector(rhs, func(e int, h float64, fe []float64) {
 		m.GatherElem(e, s.Vel, dim, velC)
 		vol := 1.0
@@ -104,11 +111,23 @@ func (s *Solver) StepPP() []float64 {
 		mat.ZeroRow(0, 1)
 		rhs[0] = 0
 	}
-	psi := m.NewVec(1)
+	if s.ppPsi == nil {
+		s.ppPsi = m.NewVec(1)
+	}
+	psi := s.ppPsi
+	for i := range psi {
+		psi[i] = 0
+	}
 	tSolve := time.Now()
-	ksp := &la.KSP{Op: mat, PC: la.NewPCBJacobiILU0(mat), Red: m,
-		Type: la.IBiCGS, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
-	res := ksp.Solve(rhs, psi)
+	// Persistent KSP + PC: workspace reused, ILU(0) refactored in place.
+	if s.ppKSP == nil {
+		s.ppPC = la.NewPCBJacobiILU0(mat)
+		s.ppKSP = &la.KSP{Op: mat, PC: s.ppPC, Red: m, Pool: s.pool,
+			Type: la.IBiCGS, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
+	} else {
+		s.ppPC.Refresh()
+	}
+	res := s.ppKSP.Solve(rhs, psi)
 	s.T.PP.Solve += time.Since(tSolve)
 	s.T.PP.Iterations += res.Iterations
 	m.GhostRead(psi, 1)

@@ -6,6 +6,7 @@ import (
 	"proteus/internal/fem"
 	"proteus/internal/la"
 	"proteus/internal/mesh"
+	"proteus/internal/par"
 )
 
 // StageTimes records per-stage wall-clock split into the Table I columns.
@@ -74,6 +75,11 @@ type Solver struct {
 	asmVel *fem.Assembler
 	asmS   *fem.Assembler // scalar
 
+	// pool is the solver's persistent worker pool: the assemblers' element
+	// loops, the SpMV of every persistent operator and the Krylov vector
+	// kernels all shard across it.
+	pool *par.Pool
+
 	// Persistent operators: each stage allocates its matrix once (sharing
 	// the frozen sparsity of its assembler's plan) and Zero()+reassembles
 	// thereafter, so steady-state time stepping performs no sparsity
@@ -85,7 +91,31 @@ type Solver struct {
 	// Cached VU mass matrix (reused, not even reassembled, while the mesh
 	// is unchanged).
 	vuMass   *la.BSRMat
-	vuMassPC la.PC
+	vuMassPC *la.PCJacobi
+
+	// Persistent solver-side state: per-stage KSP objects (each owning a
+	// reusable Krylov workspace), preconditioners refreshed in place from
+	// the re-assembled values, the CH Newton driver, and the per-step
+	// vectors. A steady-state time step performs no solver-side
+	// allocation at all. Dropped by SetMeshEpoch.
+	chNewton   *la.Newton
+	chPC       *la.PCBJacobiILU0
+	chProb     chProblem
+	chOld      []float64
+	nsKSP      *la.KSP
+	nsPC       *la.PCBJacobiILU0
+	nsRHS      []float64
+	ppKSP      *la.KSP
+	ppPC       *la.PCBJacobiILU0
+	ppRHS      []float64
+	ppPsi      []float64
+	vuKSP      *la.KSP
+	vuRHS      []float64
+	vuComp     []float64
+	vuNewVel   []float64
+	vuBlockKSP *la.KSP
+	vuBlockPC  *la.PCJacobi
+	vuBlockRHS []float64
 
 	// Per-worker kernel scratch for the sharded element loop.
 	chRes *chResScratch
@@ -94,24 +124,43 @@ type Solver struct {
 	ppScr []ppScratch
 	vuScr [][]float64 // baseline block-VU scalar mass per worker
 
+	// lumpOnes is the constant all-ones element vector of the lumped-mass
+	// kernel (hoisted out of the per-element callback).
+	lumpOnes []float64
+
 	meshEpoch uint64
 }
 
 // NewSolver allocates state on the mesh.
-func NewSolver(m *mesh.Mesh, par Params, opt Options) *Solver {
-	s := &Solver{M: m, Par: par, Opt: opt}
+func NewSolver(m *mesh.Mesh, prm Params, opt Options) *Solver {
+	s := &Solver{M: m, Par: prm, Opt: opt}
 	s.PhiMu = m.NewVec(2)
 	s.Vel = m.NewVec(m.Dim)
 	s.P = m.NewVec(1)
 	s.ElemCn = make([]float64, m.NumElems())
 	for i := range s.ElemCn {
-		s.ElemCn[i] = par.Cn
+		s.ElemCn[i] = prm.Cn
 	}
 	s.asmCH = fem.NewAssembler(m, 2)
 	s.asmVel = fem.NewAssembler(m, m.Dim)
 	s.asmS = fem.NewAssembler(m, 1)
+	// One worker pool for the whole solver: assembly shards, SpMV and the
+	// Krylov vector kernels all run on it.
+	s.pool = par.NewPool(s.asmCH.Workers())
+	s.asmCH.SetPool(s.pool)
+	s.asmVel.SetPool(s.pool)
+	s.asmS.SetPool(s.pool)
 	s.initScratch()
 	return s
+}
+
+// Close releases the solver's worker pool. Called when the solver is
+// replaced (remesh); an unclosed pool is reclaimed when the solver
+// becomes unreachable.
+func (s *Solver) Close() {
+	if s.pool != nil {
+		s.pool.Close()
+	}
 }
 
 // initScratch sizes the per-worker kernel scratch pools to the element
@@ -137,6 +186,10 @@ func (s *Solver) initScratch() {
 	for i := range s.vuScr {
 		s.vuScr[i] = make([]float64, npe*npe)
 	}
+	s.lumpOnes = make([]float64, npe)
+	for i := range s.lumpOnes {
+		s.lumpOnes[i] = 1
+	}
 }
 
 // SetMeshEpoch declares the mesh generation this solver runs on. A change
@@ -153,6 +206,13 @@ func (s *Solver) SetMeshEpoch(e uint64) {
 	s.asmS.SetEpoch(e)
 	s.chMat, s.nsMat, s.ppMat, s.vuBlockMat = nil, nil, nil, nil
 	s.vuMass, s.vuMassPC = nil, nil
+	// Drop every per-stage solver object keyed to the old operators: the
+	// next step recreates them against the new-mesh matrices.
+	s.chNewton, s.chPC, s.chOld = nil, nil, nil
+	s.nsKSP, s.nsPC, s.nsRHS = nil, nil, nil
+	s.ppKSP, s.ppPC, s.ppRHS, s.ppPsi = nil, nil, nil, nil
+	s.vuKSP, s.vuRHS, s.vuComp, s.vuNewVel = nil, nil, nil, nil
+	s.vuBlockKSP, s.vuBlockPC, s.vuBlockRHS = nil, nil, nil
 }
 
 // MeshEpoch returns the solver's current mesh epoch.
@@ -199,11 +259,7 @@ func (s *Solver) PhiMass() float64 {
 func (s *Solver) lumpedMass() []float64 {
 	v := s.M.NewVec(1)
 	s.asmS.AssembleVector(v, func(e int, h float64, fe []float64) {
-		ones := make([]float64, s.asmS.Ref.NPE)
-		for i := range ones {
-			ones[i] = 1
-		}
-		s.asmS.Ref.LoadVector(h, ones, 1, fe)
+		s.asmS.Ref.LoadVector(h, s.lumpOnes, 1, fe)
 	})
 	return v
 }

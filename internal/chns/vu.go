@@ -82,9 +82,17 @@ func (s *Solver) StepVU(psi []float64) {
 			s.vuMassPC = la.NewPCJacobi(s.vuMass)
 		}
 		s.T.VU.Matrix += time.Since(tMat)
-		newVel := m.NewVec(dim)
-		comp := m.NewVec(1)
-		rhs := m.NewVec(1)
+		if s.vuNewVel == nil {
+			s.vuNewVel = m.NewVec(dim)
+			s.vuComp = m.NewVec(1)
+			s.vuRHS = m.NewVec(1)
+		}
+		newVel, comp, rhs := s.vuNewVel, s.vuComp, s.vuRHS
+		// Persistent KSP: one warm CG workspace shared by all components.
+		if s.vuKSP == nil {
+			s.vuKSP = &la.KSP{Op: s.vuMass, PC: s.vuMassPC, Red: m, Pool: s.pool,
+				Type: la.CG, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
+		}
 		for d := 0; d < dim; d++ {
 			tVec := time.Now()
 			s.asmS.AssembleVector(rhs, func(e int, h float64, fe []float64) {
@@ -100,9 +108,7 @@ func (s *Solver) StepVU(psi []float64) {
 			for i := range comp {
 				comp[i] = 0
 			}
-			ksp := &la.KSP{Op: s.vuMass, PC: s.vuMassPC, Red: m,
-				Type: la.CG, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
-			res := ksp.Solve(rhs, comp)
+			res := s.vuKSP.Solve(rhs, comp)
 			s.T.VU.Solve += time.Since(tSolve)
 			s.T.VU.Iterations += res.Iterations
 			for i := 0; i < m.NumOwned; i++ {
@@ -143,7 +149,10 @@ func (s *Solver) StepVU(psi []float64) {
 		})
 		s.T.VU.Matrix += time.Since(tMat)
 		tVec := time.Now()
-		rhs := m.NewVec(dim)
+		if s.vuBlockRHS == nil {
+			s.vuBlockRHS = m.NewVec(dim)
+		}
+		rhs := s.vuBlockRHS
 		s.asmVel.AssembleVector(rhs, func(e int, h float64, fe []float64) {
 			for d := 0; d < dim; d++ {
 				emitComp(e, h, d, fe, dim, d)
@@ -159,9 +168,15 @@ func (s *Solver) StepVU(psi []float64) {
 			}
 		}
 		tSolve := time.Now()
-		ksp := &la.KSP{Op: mat, PC: la.NewPCJacobi(mat), Red: m,
-			Type: la.CG, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
-		res := ksp.Solve(rhs, s.Vel)
+		// Persistent KSP + Jacobi PC refreshed from the new values.
+		if s.vuBlockKSP == nil {
+			s.vuBlockPC = la.NewPCJacobi(mat)
+			s.vuBlockKSP = &la.KSP{Op: mat, PC: s.vuBlockPC, Red: m, Pool: s.pool,
+				Type: la.CG, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
+		} else {
+			s.vuBlockPC.Refresh()
+		}
+		res := s.vuBlockKSP.Solve(rhs, s.Vel)
 		s.T.VU.Solve += time.Since(tSolve)
 		s.T.VU.Iterations += res.Iterations
 	}

@@ -293,6 +293,7 @@ func (s *Simulation) Adapt() {
 			ns.ElemCn[e] = cfg.Params.Cn
 		}
 	}
+	sol.Close() // release the replaced solver's worker pool
 	s.Mesh = newM
 	s.Solver = ns
 	s.RemeshCount++

@@ -96,6 +96,19 @@ type Assembler struct {
 	workers int
 	ws      []workerScratch
 
+	// pool, when set, runs the element-loop shards and the merge on a
+	// persistent worker pool instead of spawning goroutines per assembly
+	// — the same pool the solve-path kernels dispatch to. The sh* fields
+	// are the prebuilt shard closures and their argument slots, so the
+	// pool dispatch itself allocates nothing per assembly.
+	pool            *par.Pool
+	elemFn, mergeFn func(w int)
+	shVals          []float64
+	shPlan          *AssemblyPlan
+	shKern          NodeMajorKernel
+	shZKern         ZippedKernel
+	shN, shNW       int
+
 	// off is the reusable off-process contribution buffer of the cold
 	// path (preallocated per-destination slices, reset between calls).
 	off *offProcBuf
@@ -157,6 +170,12 @@ func (a *Assembler) SetWorkers(n int) {
 	a.workers = n
 }
 
+// SetPool runs warm assemblies on the given persistent pool (sharing its
+// workers with the solve-path kernels) instead of spawning goroutines per
+// call. The shard count stays min(Workers(), pool.Workers()), so results
+// are unchanged.
+func (a *Assembler) SetPool(p *par.Pool) { a.pool = p }
+
 // Work returns worker 0's GEMM scratch (for serial zipped kernels).
 func (a *Assembler) Work() *GemmWork { return a.WorkN(0) }
 
@@ -194,13 +213,20 @@ func (a *Assembler) Plan(layout Layout) *AssemblyPlan { return a.plans[planIdx(l
 // (zero values), so assembling into it takes the warm plan-driven path
 // immediately.
 func (a *Assembler) NewMatrix(layout Layout) *la.BSRMat {
+	var mat *la.BSRMat
 	if p := a.plans[planIdx(layout)]; p != nil {
 		if layout == LayoutAIJ {
-			return la.NewAIJFromSparsity(a.M, a.Ndof, a.M.NumOwned, a.M.NumLocal, p.sp)
+			mat = la.NewAIJFromSparsity(a.M, a.Ndof, a.M.NumOwned, a.M.NumLocal, p.sp)
+		} else {
+			mat = la.NewBAIJFromSparsity(a.M, a.Ndof, a.M.NumOwned, a.M.NumLocal, p.sp)
 		}
-		return la.NewBAIJFromSparsity(a.M, a.Ndof, a.M.NumOwned, a.M.NumLocal, p.sp)
+	} else {
+		mat = NewMatrix(a.M, a.Ndof, layout)
 	}
-	return NewMatrix(a.M, a.Ndof, layout)
+	// Operators inherit the assembler's pool: SpMV shards across the same
+	// workers as the element loop (bitwise-identical to serial).
+	mat.SetPool(a.pool)
+	return mat
 }
 
 // planFor returns the plan to use for a warm assembly into mat, or nil
@@ -298,6 +324,9 @@ func (a *Assembler) AssembleMatrixZipped(mat *la.BSRMat, kern ZippedKernel) {
 func (a *Assembler) assembleWarm(mat *la.BSRMat, plan *AssemblyPlan, kern NodeMajorKernel, zkern ZippedKernel) {
 	n := a.M.NumElems()
 	nw := a.workers
+	if a.pool != nil && a.pool.Workers() < nw {
+		nw = a.pool.Workers()
+	}
 	if nw > n {
 		nw = n
 	}
@@ -309,53 +338,83 @@ func (a *Assembler) assembleWarm(mat *la.BSRMat, plan *AssemblyPlan, kern NodeMa
 	if nw == 1 {
 		a.runShard(0, 0, n, vals, plan, kern, zkern)
 	} else {
-		var wg sync.WaitGroup
-		for w := 1; w < nw; w++ {
-			lo, hi := w*n/nw, (w+1)*n/nw
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				// Allocate/zero the accumulation buffer inside the worker so
-				// the O(nnz) memset parallelizes instead of serializing the
-				// launch; the merge after wg.Wait() observes it safely.
-				ws := &a.ws[w]
-				if len(ws.vals) != len(vals) {
-					ws.vals = make([]float64, len(vals))
-				} else {
-					for i := range ws.vals {
-						ws.vals[i] = 0
-					}
-				}
-				a.runShard(w, lo, hi, ws.vals, plan, kern, zkern)
-			}(w, lo, hi)
+		if a.elemFn == nil {
+			a.elemFn, a.mergeFn = a.runElemShard, a.runMergeShard
 		}
-		a.runShard(0, 0, n/nw, vals, plan, kern, zkern)
-		wg.Wait()
-		// Merge the worker buffers into vals, sharded by index range so the
-		// merge itself parallelizes; every index still sums workers in
-		// order 1..nw-1, keeping the result independent of merge scheduling.
-		mergeRange := func(lo, hi int) {
+		a.shVals, a.shPlan, a.shKern, a.shZKern, a.shN, a.shNW = vals, plan, kern, zkern, n, nw
+		if a.pool != nil {
+			a.pool.Run(a.elemFn)
+			a.pool.Run(a.mergeFn)
+		} else {
+			var wg sync.WaitGroup
 			for w := 1; w < nw; w++ {
-				buf := a.ws[w].vals
-				for i := lo; i < hi; i++ {
-					vals[i] += buf[i]
-				}
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					a.runElemShard(w)
+				}(w)
 			}
+			a.runElemShard(0)
+			wg.Wait()
+			var mg sync.WaitGroup
+			for s := 1; s < nw; s++ {
+				mg.Add(1)
+				go func(s int) {
+					defer mg.Done()
+					a.runMergeShard(s)
+				}(s)
+			}
+			a.runMergeShard(0)
+			mg.Wait()
 		}
-		nv := len(vals)
-		var mg sync.WaitGroup
-		for s := 1; s < nw; s++ {
-			lo, hi := s*nv/nw, (s+1)*nv/nw
-			mg.Add(1)
-			go func(lo, hi int) {
-				defer mg.Done()
-				mergeRange(lo, hi)
-			}(lo, hi)
-		}
-		mergeRange(0, nv/nw)
-		mg.Wait()
+		a.shVals, a.shPlan, a.shKern, a.shZKern = nil, nil, nil, nil
 	}
 	a.flushPlanned(mat, plan)
+}
+
+// runElemShard is the prebuilt element-loop shard: worker 0 accumulates
+// directly into the matrix values; workers 1..nw-1 zero and fill their
+// private buffers (the O(nnz) memset parallelizes instead of serializing
+// the launch).
+func (a *Assembler) runElemShard(w int) {
+	nw, n := a.shNW, a.shN
+	if w >= nw {
+		return
+	}
+	lo, hi := w*n/nw, (w+1)*n/nw
+	if w == 0 {
+		a.runShard(0, lo, hi, a.shVals, a.shPlan, a.shKern, a.shZKern)
+		return
+	}
+	ws := &a.ws[w]
+	if len(ws.vals) != len(a.shVals) {
+		ws.vals = make([]float64, len(a.shVals))
+	} else {
+		for i := range ws.vals {
+			ws.vals[i] = 0
+		}
+	}
+	a.runShard(w, lo, hi, ws.vals, a.shPlan, a.shKern, a.shZKern)
+}
+
+// runMergeShard merges the worker buffers into the matrix values, sharded
+// by index range so the merge itself parallelizes; every index still sums
+// workers in order 1..nw-1, keeping the result independent of merge
+// scheduling.
+func (a *Assembler) runMergeShard(s int) {
+	nw := a.shNW
+	if s >= nw {
+		return
+	}
+	vals := a.shVals
+	nv := len(vals)
+	lo, hi := s*nv/nw, (s+1)*nv/nw
+	for w := 1; w < nw; w++ {
+		buf := a.ws[w].vals
+		for i := lo; i < hi; i++ {
+			vals[i] += buf[i]
+		}
+	}
 }
 
 // runShard assembles elements [e0,e1) with worker w's scratch,

@@ -3,19 +3,22 @@ package la
 import (
 	"fmt"
 	"math"
+
+	"proteus/internal/par"
 )
 
-// Reducer provides global reductions over ranks. A serial Reducer can
-// simply return its inputs.
+// Reducer provides global reductions over ranks, allocation-free on the
+// caller side: dst is summed element-wise across ranks in place. A serial
+// Reducer leaves dst untouched.
 type Reducer interface {
-	GlobalSumN(vals []float64) []float64
+	GlobalSumInto(dst []float64)
 }
 
 // SerialReducer is a Reducer for single-rank use.
 type SerialReducer struct{}
 
-// GlobalSumN returns vals unchanged.
-func (SerialReducer) GlobalSumN(vals []float64) []float64 { return vals }
+// GlobalSumInto leaves dst unchanged.
+func (SerialReducer) GlobalSumInto([]float64) {}
 
 // Method selects a Krylov solver.
 type Method string
@@ -28,7 +31,11 @@ const (
 	GMRES  Method = "gmres"
 )
 
-// KSP is a configured Krylov solve, mirroring the PETSc KSP object.
+// KSP is a configured Krylov solve, mirroring the PETSc KSP object. A KSP
+// owns a persistent workspace: the first Solve for a given operator shape
+// allocates every work vector, and all later Solves reuse them, so the
+// steady-state (warm) solve path performs no allocation. Hold one KSP per
+// stage and keep calling Solve on it.
 type KSP struct {
 	Op      Operator
 	PC      PC
@@ -38,6 +45,12 @@ type KSP struct {
 	Atol    float64 // absolute tolerance (default 1e-8)
 	MaxIt   int     // default 10000
 	Restart int     // GMRES restart length (default 30)
+
+	// Pool shards the dot/axpy kernels across workers; results are
+	// bitwise identical to the serial path (chunk-canonical dots).
+	Pool *par.Pool
+
+	ws *kspWS
 }
 
 // Result reports a solve outcome.
@@ -68,33 +81,12 @@ func (k *KSP) defaults() {
 	}
 }
 
-func (k *KSP) dot2(a, b, c, d []float64, n int) (float64, float64) {
-	var s0, s1 float64
-	for i := 0; i < n; i++ {
-		s0 += a[i] * b[i]
-		s1 += c[i] * d[i]
-	}
-	r := k.Red.GlobalSumN([]float64{s0, s1})
-	return r[0], r[1]
-}
-
-func (k *KSP) dot(a, b []float64, n int) float64 {
-	var s float64
-	for i := 0; i < n; i++ {
-		s += a[i] * b[i]
-	}
-	return k.Red.GlobalSumN([]float64{s})[0]
-}
-
-func (k *KSP) norm(a []float64, n int) float64 {
-	return math.Sqrt(k.dot(a, a, n))
-}
-
 // Solve solves Op*x = b, using x as the initial guess, and overwrites x
 // with the solution. b and x are full local vectors; only owned segments
 // are read/written by the solver itself.
 func (k *KSP) Solve(b, x []float64) Result {
 	k.defaults()
+	k.ensureWS()
 	switch k.Type {
 	case CG:
 		return k.cg(b, x)
@@ -111,16 +103,11 @@ func (k *KSP) Solve(b, x []float64) Result {
 
 // cg is preconditioned conjugate gradients for SPD operators.
 func (k *KSP) cg(b, x []float64) Result {
-	n := k.Op.Rows()
-	full := k.Op.FullLen()
-	r := make([]float64, full)
-	z := make([]float64, full)
-	p := make([]float64, full)
-	ap := make([]float64, full)
+	ws := k.ws
+	n := ws.n
+	r, z, p, ap := ws.r, ws.z, ws.p, ws.ap
 	k.Op.Apply(x, ap)
-	for i := 0; i < n; i++ {
-		r[i] = b[i] - ap[i]
-	}
+	k.waxpby(r, 1, b, -1, ap, n)
 	bnorm := k.norm(b, n)
 	if bnorm == 0 {
 		bnorm = 1
@@ -139,18 +126,14 @@ func (k *KSP) cg(b, x []float64) Result {
 			return Result{Iterations: it, Converged: false, Residual: rnorm}
 		}
 		alpha := rz / pap
-		for i := 0; i < n; i++ {
-			x[i] += alpha * p[i]
-			r[i] -= alpha * ap[i]
-		}
+		k.axpy(alpha, p, x, n)
+		k.axpy(-alpha, ap, r, n)
 		k.PC.Apply(r[:n], z[:n])
 		rzNew, rr := k.dot2(r, z, r, r, n)
 		rnorm = math.Sqrt(rr)
 		beta := rzNew / rz
 		rz = rzNew
-		for i := 0; i < n; i++ {
-			p[i] = z[i] + beta*p[i]
-		}
+		k.waxpby(p, 1, z, beta, p, n)
 	}
 	return Result{Iterations: k.MaxIt, Converged: false, Residual: rnorm}
 }
@@ -160,21 +143,13 @@ func (k *KSP) cg(b, x []float64) Result {
 // communication-avoiding trick behind PETSc's IBCGS variant used for the
 // pressure-Poisson solve in Table II.
 func (k *KSP) bicgstab(b, x []float64, fused bool) Result {
-	n := k.Op.Rows()
-	full := k.Op.FullLen()
-	r := make([]float64, full)
-	rhat := make([]float64, n)
-	p := make([]float64, full)
-	v := make([]float64, full)
-	s := make([]float64, full)
-	t := make([]float64, full)
-	ph := make([]float64, full)
-	sh := make([]float64, full)
+	ws := k.ws
+	n := ws.n
+	r, rhat, p := ws.r, ws.rhat, ws.p
+	v, s, t, ph, sh := ws.v, ws.s, ws.t, ws.ph, ws.sh
 	k.Op.Apply(x, v)
-	for i := 0; i < n; i++ {
-		r[i] = b[i] - v[i]
-		rhat[i] = r[i]
-	}
+	k.waxpby(r, 1, b, -1, v, n)
+	copy(rhat, r[:n])
 	for i := range v {
 		v[i] = 0
 	}
@@ -196,9 +171,9 @@ func (k *KSP) bicgstab(b, x []float64, fused bool) Result {
 			copy(p[:n], r[:n])
 		} else {
 			beta := (rhoNew / rho) * (alpha / omega)
-			for i := 0; i < n; i++ {
-				p[i] = r[i] + beta*(p[i]-omega*v[i])
-			}
+			// p = r + beta*(p - omega*v), in two aliasing-safe passes.
+			k.waxpby(p, 1, p, -omega, v, n)
+			k.waxpby(p, 1, r, beta, p, n)
 		}
 		rho = rhoNew
 		k.PC.Apply(p[:n], ph[:n])
@@ -208,14 +183,10 @@ func (k *KSP) bicgstab(b, x []float64, fused bool) Result {
 			return Result{Iterations: it, Converged: false, Residual: rnorm}
 		}
 		alpha = rho / rhv
-		for i := 0; i < n; i++ {
-			s[i] = r[i] - alpha*v[i]
-		}
+		k.waxpby(s, 1, r, -alpha, v, n)
 		snorm := k.norm(s, n)
 		if snorm <= k.Rtol*bnorm || snorm <= k.Atol {
-			for i := 0; i < n; i++ {
-				x[i] += alpha * ph[i]
-			}
+			k.axpy(alpha, ph, x, n)
 			return Result{Iterations: it + 1, Converged: true, Residual: snorm}
 		}
 		k.PC.Apply(s[:n], sh[:n])
@@ -231,10 +202,8 @@ func (k *KSP) bicgstab(b, x []float64, fused bool) Result {
 			return Result{Iterations: it, Converged: false, Residual: rnorm}
 		}
 		omega = ts / tt
-		for i := 0; i < n; i++ {
-			x[i] += alpha*ph[i] + omega*sh[i]
-			r[i] = s[i] - omega*t[i]
-		}
+		k.axpy2(alpha, ph, omega, sh, x, n)
+		k.waxpby(r, 1, s, -omega, t, n)
 		rnorm = k.norm(r, n)
 		if omega == 0 {
 			return Result{Iterations: it + 1, Converged: false, Residual: rnorm}
@@ -246,23 +215,12 @@ func (k *KSP) bicgstab(b, x []float64, fused bool) Result {
 // gmres is restarted GMRES with modified Gram-Schmidt and right
 // preconditioning.
 func (k *KSP) gmres(b, x []float64) Result {
-	n := k.Op.Rows()
-	full := k.Op.FullLen()
+	ws := k.ws
+	n := ws.n
 	m := k.Restart
-	r := make([]float64, full)
-	w := make([]float64, full)
-	zv := make([]float64, full)
-	V := make([][]float64, m+1)
-	for i := range V {
-		V[i] = make([]float64, full)
-	}
-	H := make([][]float64, m+1)
-	for i := range H {
-		H[i] = make([]float64, m)
-	}
-	cs := make([]float64, m)
-	sn := make([]float64, m)
-	g := make([]float64, m+1)
+	r, w, zv := ws.r, ws.w, ws.zv
+	V, H := ws.V, ws.H
+	cs, sn, g, y := ws.cs, ws.sn, ws.g, ws.y
 	bnorm := k.norm(b, n)
 	if bnorm == 0 {
 		bnorm = 1
@@ -270,16 +228,12 @@ func (k *KSP) gmres(b, x []float64) Result {
 	totalIt := 0
 	for cycle := 0; totalIt < k.MaxIt; cycle++ {
 		k.Op.Apply(x, w)
-		for i := 0; i < n; i++ {
-			r[i] = b[i] - w[i]
-		}
+		k.waxpby(r, 1, b, -1, w, n)
 		beta := k.norm(r, n)
 		if beta <= k.Rtol*bnorm || beta <= k.Atol {
 			return Result{Iterations: totalIt, Converged: true, Residual: beta}
 		}
-		for i := 0; i < n; i++ {
-			V[0][i] = r[i] / beta
-		}
+		k.waxpby(V[0], 1/beta, r, 0, r, n)
 		for i := range g {
 			g[i] = 0
 		}
@@ -292,16 +246,12 @@ func (k *KSP) gmres(b, x []float64) Result {
 			for i := 0; i <= j; i++ {
 				h := k.dot(w, V[i], n)
 				H[i][j] = h
-				for l := 0; l < n; l++ {
-					w[l] -= h * V[i][l]
-				}
+				k.axpy(-h, V[i], w, n)
 			}
 			hn := k.norm(w, n)
 			H[j+1][j] = hn
 			if hn != 0 {
-				for l := 0; l < n; l++ {
-					V[j+1][l] = w[l] / hn
-				}
+				k.waxpby(V[j+1], 1/hn, w, 0, w, n)
 			}
 			// Apply accumulated Givens rotations.
 			for i := 0; i < j; i++ {
@@ -325,7 +275,9 @@ func (k *KSP) gmres(b, x []float64) Result {
 			}
 		}
 		// Back-substitute y and update x via the preconditioned basis.
-		y := make([]float64, j)
+		for i := 0; i < j; i++ {
+			y[i] = 0
+		}
 		for i := j - 1; i >= 0; i-- {
 			s := g[i]
 			for l := i + 1; l < j; l++ {
@@ -339,19 +291,13 @@ func (k *KSP) gmres(b, x []float64) Result {
 			zv[i] = 0
 		}
 		for l := 0; l < j; l++ {
-			for i := 0; i < n; i++ {
-				zv[i] += y[l] * V[l][i]
-			}
+			k.axpy(y[l], V[l], zv, n)
 		}
 		k.PC.Apply(zv[:n], w[:n])
-		for i := 0; i < n; i++ {
-			x[i] += w[i]
-		}
+		k.axpy(1, w, x, n)
 	}
 	k.Op.Apply(x, w)
-	for i := 0; i < n; i++ {
-		r[i] = b[i] - w[i]
-	}
+	k.waxpby(r, 1, b, -1, w, n)
 	res := k.norm(r, n)
 	return Result{Iterations: totalIt, Converged: res <= k.Rtol*bnorm || res <= k.Atol, Residual: res}
 }

@@ -1,0 +1,288 @@
+package la
+
+import (
+	"math"
+	"testing"
+
+	"proteus/internal/par"
+)
+
+// convDiff1D assembles a nonsymmetric 1D convection-diffusion operator
+// (tridiagonal 2, -1±c), diagonally dominant for |c| < 1.
+func convDiff1D(n int, c float64) *BSRMat {
+	m := NewAIJ(nil, 1, n, n)
+	for i := 0; i < n; i++ {
+		m.AddValue(i, i, 2)
+		if i > 0 {
+			m.AddValue(i, i-1, -1-c)
+		}
+		if i < n-1 {
+			m.AddValue(i, i+1, -1+c)
+		}
+	}
+	m.Finalize()
+	return m
+}
+
+// applyInto computes b = A*x for a test matrix.
+func applyInto(op Operator, x []float64) []float64 {
+	b := make([]float64, op.FullLen())
+	op.Apply(x, b)
+	return b
+}
+
+// TestKSPConvergesToKnownSolution checks every method against a
+// manufactured solution: CG on the SPD Laplacian, the nonsymmetric
+// methods (BiCGStab, IBiCGS, GMRES) on a convection-diffusion operator.
+func TestKSPConvergesToKnownSolution(t *testing.T) {
+	n := 128
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = math.Sin(0.1*float64(i)) + 0.5*math.Cos(0.37*float64(i))
+	}
+	cases := []struct {
+		name   string
+		method Method
+		op     *BSRMat
+	}{
+		{"cg-spd", CG, lap1D(n)},
+		{"bcgs-nonsym", BiCGS, convDiff1D(n, 0.4)},
+		{"ibcgs-nonsym", IBiCGS, convDiff1D(n, 0.4)},
+		{"gmres-nonsym", GMRES, convDiff1D(n, 0.4)},
+	}
+	for _, tc := range cases {
+		b := applyInto(tc.op, want)
+		x := make([]float64, n)
+		k := &KSP{Op: tc.op, PC: NewPCBJacobiILU0(tc.op), Type: tc.method, Rtol: 1e-12, Atol: 1e-14}
+		res := k.Solve(b, x)
+		if !res.Converged {
+			t.Fatalf("%s: no convergence: %+v", tc.name, res)
+		}
+		for i := range want {
+			if math.Abs(x[i]-want[i]) > 1e-6 {
+				t.Fatalf("%s: x[%d] = %v, want %v", tc.name, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+// largeSPD builds an SPD scalar system big enough to cross the sharding
+// thresholds, with a manufactured right-hand side.
+func largeSPD(n int) (*BSRMat, []float64) {
+	m := lap1D(n)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = math.Sin(0.01 * float64(i))
+	}
+	return m, b
+}
+
+// TestKSPWarmSolveZeroAllocs is the acceptance check that a warm Solve
+// (workspace already shaped) allocates nothing, for every method, both
+// serially and on a worker pool.
+func TestKSPWarmSolveZeroAllocs(t *testing.T) {
+	n := 3 * minParallelN / 2 // large enough to exercise the sharded path
+	m, b := largeSPD(n)
+	pc := NewPCBJacobiILU0(m) // exact for tridiagonal: solves in O(1) iterations
+	pools := map[string]*par.Pool{"serial": nil, "pool4": par.NewPool(4)}
+	for pname, pool := range pools {
+		m.SetPool(pool)
+		for _, method := range []Method{CG, BiCGS, IBiCGS, GMRES} {
+			x := make([]float64, n)
+			k := &KSP{Op: m, PC: pc, Type: method, Pool: pool, Rtol: 1e-10}
+			k.Solve(b, x) // cold: builds the workspace
+			allocs := testing.AllocsPerRun(10, func() {
+				for i := range x {
+					x[i] = 0
+				}
+				k.Solve(b, x)
+			})
+			if allocs != 0 {
+				t.Errorf("%s/%s: warm Solve allocates %v times per run, want 0", method, pname, allocs)
+			}
+		}
+	}
+	m.SetPool(nil)
+	pools["pool4"].Close()
+}
+
+// TestShardedSolveMatchesSerialBitwise verifies the determinism contract:
+// sharded SpMV partitions rows (each row computed exactly as serially) and
+// the inner products are chunk-canonical, so a pooled solve must be
+// bitwise identical to the serial one, for every method.
+func TestShardedSolveMatchesSerialBitwise(t *testing.T) {
+	n := 3 * minParallelN / 2
+	m, b := largeSPD(n)
+	pc := NewPCBJacobiILU0(m)
+	pool := par.NewPool(5) // odd worker count: uneven shard boundaries
+	defer pool.Close()
+	for _, method := range []Method{CG, BiCGS, IBiCGS, GMRES} {
+		m.SetPool(nil)
+		xs := make([]float64, n)
+		ks := &KSP{Op: m, PC: pc, Type: method, Rtol: 1e-10}
+		rs := ks.Solve(b, xs)
+
+		m.SetPool(pool)
+		xp := make([]float64, n)
+		kp := &KSP{Op: m, PC: pc, Type: method, Pool: pool, Rtol: 1e-10}
+		rp := kp.Solve(b, xp)
+
+		if rs.Iterations != rp.Iterations || rs.Residual != rp.Residual {
+			t.Fatalf("%s: serial %+v vs sharded %+v", method, rs, rp)
+		}
+		for i := range xs {
+			if xs[i] != xp[i] {
+				t.Fatalf("%s: x[%d] differs bitwise: serial %x sharded %x", method, i, xs[i], xp[i])
+			}
+		}
+	}
+	m.SetPool(nil)
+}
+
+// TestShardedSpMVAndDotsMatchSerialBitwise checks the two primitives in
+// isolation: Apply and the chunk-canonical dot/dot2 must not depend on the
+// worker count at all.
+func TestShardedSpMVAndDotsMatchSerialBitwise(t *testing.T) {
+	n := 3 * minParallelN / 2
+	m, b := largeSPD(n)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(0.003*float64(i)) * float64(i%17)
+	}
+	m.SetPool(nil)
+	ys := applyInto(m, x)
+	for _, nw := range []int{2, 3, 8} {
+		pool := par.NewPool(nw)
+		m.SetPool(pool)
+		yp := applyInto(m, x)
+		for i := range ys {
+			if ys[i] != yp[i] {
+				t.Fatalf("nw=%d: SpMV y[%d] differs bitwise: %x vs %x", nw, i, ys[i], yp[i])
+			}
+		}
+		ks := &KSP{Op: m, Type: CG}
+		ks.defaults()
+		ks.ensureWS()
+		ds := ks.dot(x, b, n)
+		kp := &KSP{Op: m, Type: CG, Pool: pool}
+		kp.defaults()
+		kp.ensureWS()
+		dp := kp.dot(x, b, n)
+		if ds != dp {
+			t.Fatalf("nw=%d: dot differs bitwise: %x vs %x", nw, ds, dp)
+		}
+		s1, s2 := ks.dot2(x, b, b, b, n)
+		p1, p2 := kp.dot2(x, b, b, b, n)
+		if s1 != p1 || s2 != p2 {
+			t.Fatalf("nw=%d: dot2 differs bitwise", nw)
+		}
+		m.SetPool(nil)
+		pool.Close()
+	}
+}
+
+// overlapScatter is a fake OverlapScatter for a single-rank stand-in of a
+// distributed matrix: ghost slots [owned, len(ghosts)+owned) are served
+// from a stored array. Begin poisons the ghost segment with NaN, End
+// installs the real values — so any "interior" row that actually touches
+// a ghost column contaminates the product and fails the test.
+type overlapScatter struct {
+	owned  int
+	ghosts []float64
+	reads  int
+}
+
+func (o *overlapScatter) GhostRead(v []float64, ndof int) {
+	o.GhostReadBegin(v, ndof)
+	o.GhostReadEnd(v, ndof)
+}
+
+func (o *overlapScatter) GhostReadBegin(v []float64, ndof int) {
+	for i := range o.ghosts {
+		v[o.owned*ndof+i] = math.NaN()
+	}
+}
+
+func (o *overlapScatter) GhostReadEnd(v []float64, ndof int) {
+	o.reads++
+	copy(v[o.owned*ndof:], o.ghosts)
+}
+
+func (o *overlapScatter) Dot(a, b []float64, ndof int) float64 {
+	var s float64
+	for i := 0; i < o.owned*ndof; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func (o *overlapScatter) GlobalSum(v float64) float64 { return v }
+
+// TestApplyOverlapsGhostExchange checks the interior/boundary split: the
+// overlapped Apply must equal a reference product computed with the ghosts
+// already in place, and the interior rows must never read ghost columns
+// (enforced by the NaN poisoning above).
+func TestApplyOverlapsGhostExchange(t *testing.T) {
+	owned, ghost := 600, 40
+	sc := &overlapScatter{owned: owned, ghosts: make([]float64, ghost)}
+	for i := range sc.ghosts {
+		sc.ghosts[i] = 2 + float64(i%5)
+	}
+	bs := 1
+	m := NewBAIJ(sc, bs, owned, owned+ghost)
+	for i := 0; i < owned; i++ {
+		m.AddBlock(i, i, []float64{4})
+		if i > 0 {
+			m.AddBlock(i, i-1, []float64{-1})
+		}
+		if i < owned-1 {
+			m.AddBlock(i, i+1, []float64{-1})
+		}
+		// Every 7th row borrows a ghost column: those are the boundary rows.
+		if i%7 == 0 {
+			m.AddBlock(i, owned+i%ghost, []float64{0.5})
+		}
+	}
+	m.Finalize()
+	interior, boundary := m.Sparsity().RowSplit()
+	if len(boundary) != (owned+6)/7 {
+		t.Fatalf("boundary rows = %d, want %d", len(boundary), (owned+6)/7)
+	}
+	if len(interior)+len(boundary) != owned {
+		t.Fatalf("row split loses rows: %d + %d != %d", len(interior), len(boundary), owned)
+	}
+
+	x := make([]float64, owned+ghost)
+	for i := 0; i < owned; i++ {
+		x[i] = math.Sin(float64(i))
+	}
+	// Reference: ghosts pre-installed, plain row sweep.
+	ref := make([]float64, owned+ghost)
+	copy(ref, x)
+	copy(ref[owned:], sc.ghosts)
+	want := make([]float64, owned+ghost)
+	m.applySpan(ref, want, nil, 0, owned)
+
+	got := make([]float64, owned+ghost)
+	m.Apply(x, got)
+	if sc.reads != 1 {
+		t.Fatalf("ghost exchange ran %d times, want 1", sc.reads)
+	}
+	for i := 0; i < owned; i++ {
+		if got[i] != want[i] || math.IsNaN(got[i]) {
+			t.Fatalf("overlapped Apply y[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestOversizeBlockRejected pins the bs > 8 corruption hazard: the fixed
+// row accumulator in Apply holds 8 entries, so larger blocks must be
+// rejected at construction instead of silently overrunning.
+func TestOversizeBlockRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBAIJ with bs=9 must panic")
+		}
+	}()
+	NewBAIJ(nil, 9, 4, 4)
+}

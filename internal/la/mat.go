@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"proteus/internal/par"
 )
 
 // Scatter abstracts the mesh ghost exchange the matrix needs: refresh
@@ -23,6 +25,27 @@ type Scatter interface {
 	GhostRead(v []float64, ndof int)
 	Dot(a, b []float64, ndof int) float64
 	GlobalSum(v float64) float64
+}
+
+// OverlapScatter is an optional Scatter extension splitting the ghost
+// read into a send phase and a receive phase, so interior computation can
+// run between them (the communication/computation overlap of a
+// non-blocking VecScatterBegin/End pair).
+type OverlapScatter interface {
+	Scatter
+	GhostReadBegin(v []float64, ndof int)
+	GhostReadEnd(v []float64, ndof int)
+}
+
+// maxBs is the largest supported block size: the Apply hot loop
+// accumulates each block row in a fixed register-sized buffer, and the
+// scalar AddValue path stages through a [maxBs*maxBs]float64.
+const maxBs = 8
+
+func checkBs(bs int) {
+	if bs < 1 || bs > maxBs {
+		panic(fmt.Sprintf("la: block size %d out of supported range [1,%d]", bs, maxBs))
+	}
 }
 
 // Operator is anything that can apply y = A*x on full local vectors
@@ -48,6 +71,18 @@ type BSRMat struct {
 	// matrices whose rows are flattened node*ndof entries.
 	scatterDof int
 	scatter    Scatter
+	// ovScatter is scatter's overlap extension when it has one (asserted
+	// once at construction), enabling the split-phase Apply.
+	ovScatter OverlapScatter
+
+	// pool shards Apply across workers when set (see SetPool); the
+	// ap* fields are the prebuilt shard closure and its argument slots,
+	// so a warm sharded Apply performs no allocation.
+	pool   *par.Pool
+	apFn   func(w int)
+	apX    []float64
+	apY    []float64
+	apRows []int32 // nil: shard the full block-row range instead
 
 	// Assembly state (COO map) until Finalize; then CSR arrays.
 	build map[[2]int32][]float64
@@ -60,22 +95,29 @@ type BSRMat struct {
 	finalized bool
 }
 
-// NewBAIJ returns an empty block matrix with the given block size.
+// NewBAIJ returns an empty block matrix with the given block size
+// (1 <= bs <= 8; larger blocks would silently overrun the fixed row
+// accumulators, so they are rejected here).
 func NewBAIJ(scatter Scatter, bs, ownedNodes, localNodes int) *BSRMat {
-	return &BSRMat{
+	checkBs(bs)
+	m := &BSRMat{
 		Bs: bs, NRowNodes: ownedNodes, NColNodes: localNodes,
 		scatterDof: bs, scatter: scatter, build: make(map[[2]int32][]float64),
 	}
+	m.initScatter()
+	return m
 }
 
 // NewAIJ returns an empty scalar CSR matrix over ndof unknowns per node:
 // the node-blocked sparsity is flattened to scalar rows/columns, the
 // format the paper starts from ("baseline", MATMPIAIJ).
 func NewAIJ(scatter Scatter, ndof, ownedNodes, localNodes int) *BSRMat {
-	return &BSRMat{
+	m := &BSRMat{
 		Bs: 1, NRowNodes: ownedNodes * ndof, NColNodes: localNodes * ndof,
 		scatterDof: ndof, scatter: scatter, build: make(map[[2]int32][]float64),
 	}
+	m.initScatter()
+	return m
 }
 
 // NewBAIJFromSparsity returns a finalized block matrix sharing the frozen
@@ -83,20 +125,43 @@ func NewAIJ(scatter Scatter, ndof, ownedNodes, localNodes int) *BSRMat {
 // slots (AddBlockAt or pattern-preserving AddBlock), the warm path of a
 // persistent-sparsity time loop.
 func NewBAIJFromSparsity(scatter Scatter, bs, ownedNodes, localNodes int, sp *Sparsity) *BSRMat {
-	return &BSRMat{
+	checkBs(bs)
+	m := &BSRMat{
 		Bs: bs, NRowNodes: ownedNodes, NColNodes: localNodes,
 		scatterDof: bs, scatter: scatter,
 		sp: sp, vals: make([]float64, sp.NNZ()*bs*bs), finalized: true,
 	}
+	m.initScatter()
+	return m
 }
 
 // NewAIJFromSparsity is the scalar-CSR analogue of NewBAIJFromSparsity:
 // sp indexes the flattened node*ndof rows/columns.
 func NewAIJFromSparsity(scatter Scatter, ndof, ownedNodes, localNodes int, sp *Sparsity) *BSRMat {
-	return &BSRMat{
+	m := &BSRMat{
 		Bs: 1, NRowNodes: ownedNodes * ndof, NColNodes: localNodes * ndof,
 		scatterDof: ndof, scatter: scatter,
 		sp: sp, vals: make([]float64, sp.NNZ()), finalized: true,
+	}
+	m.initScatter()
+	return m
+}
+
+// initScatter caches the overlap capability of the scatter.
+func (m *BSRMat) initScatter() {
+	if ov, ok := m.scatter.(OverlapScatter); ok {
+		m.ovScatter = ov
+	}
+}
+
+// SetPool shards Apply across the pool's workers (rows partitioned into
+// contiguous shards, so the sharded product is bitwise identical to the
+// serial one). Typically the same pool the assembler runs its element
+// loop on.
+func (m *BSRMat) SetPool(p *par.Pool) {
+	m.pool = p
+	if p != nil && m.apFn == nil {
+		m.apFn = m.applyShard
 	}
 }
 
@@ -234,23 +299,78 @@ func (m *BSRMat) Finalize() {
 }
 
 // Apply computes y = A*x. x must be a full local vector; ghosts are
-// refreshed before the multiply. Implements Operator.
+// refreshed before the multiply. When the scatter supports split-phase
+// exchange and the pattern has boundary rows, the interior rows (derived
+// once from the frozen Sparsity) are multiplied while the ghost values are
+// still in flight, hiding the exchange behind computation. Implements
+// Operator.
 func (m *BSRMat) Apply(x, y []float64) {
 	if !m.finalized {
 		m.Finalize()
 	}
+	if m.ovScatter != nil {
+		interior, boundary := m.sp.RowSplit()
+		if len(boundary) > 0 {
+			m.ovScatter.GhostReadBegin(x, m.scatterDof)
+			m.runApply(x, y, interior, len(interior))
+			m.ovScatter.GhostReadEnd(x, m.scatterDof)
+			m.runApply(x, y, boundary, len(boundary))
+			return
+		}
+		// No boundary rows on this rank. The exchange must still run —
+		// it is collective, and peers may borrow this rank's rows — just
+		// with nothing to overlap.
+	}
 	if m.scatter != nil {
 		m.scatter.GhostRead(x, m.scatterDof)
 	}
+	m.runApply(x, y, nil, m.NRowNodes)
+}
+
+// minParallelRows is the block-row count below which sharding a product
+// costs more in dispatch than it saves.
+const minParallelRows = 256
+
+// runApply multiplies the rows listed in rows (or block rows [0, n) when
+// rows is nil), sharding across the pool when the row count warrants it.
+// Rows are partitioned into contiguous shards, each row computed exactly
+// as in the serial loop, so the result is bitwise independent of the
+// worker count.
+func (m *BSRMat) runApply(x, y []float64, rows []int32, n int) {
+	if m.pool == nil || m.pool.Workers() == 1 || n < minParallelRows {
+		m.applySpan(x, y, rows, 0, n)
+		return
+	}
+	m.apX, m.apY, m.apRows = x, y, rows
+	m.pool.Run(m.apFn)
+	m.apX, m.apY, m.apRows = nil, nil, nil
+}
+
+// applyShard is the prebuilt pool kernel: worker w multiplies its
+// contiguous share of the current row set.
+func (m *BSRMat) applyShard(w int) {
+	nw := m.pool.Workers()
+	n := m.NRowNodes
+	if m.apRows != nil {
+		n = len(m.apRows)
+	}
+	m.applySpan(m.apX, m.apY, m.apRows, w*n/nw, (w+1)*n/nw)
+}
+
+// applySpan multiplies rows[lo:hi] (or block rows [lo, hi) when rows is
+// nil) of A into y.
+func (m *BSRMat) applySpan(x, y []float64, rows []int32, lo, hi int) {
 	bs := m.Bs
 	bs2 := bs * bs
-	for r := 0; r < m.NRowNodes; r++ {
-		// Accumulate into a small local buffer to keep the row hot.
-		var acc [8]float64
-		a := acc[:bs]
-		for i := range a {
-			a[i] = 0
+	for i := lo; i < hi; i++ {
+		r := i
+		if rows != nil {
+			r = int(rows[i])
 		}
+		// Accumulate into a small local buffer to keep the row hot (Bs is
+		// capped at maxBs by construction, so the buffer always fits).
+		var acc [maxBs]float64
+		a := acc[:bs]
 		for j := m.sp.Indptr[r]; j < m.sp.Indptr[r+1]; j++ {
 			c := int(m.sp.Cols[j]) * bs
 			blk := m.vals[int(j)*bs2 : int(j+1)*bs2]
@@ -286,24 +406,6 @@ func (m *BSRMat) ZeroRow(row int, diag float64) {
 			blk[rd*bs+rd] = diag
 		}
 	}
-}
-
-// DiagBlocks returns a copy of the diagonal blocks (row-major, per node),
-// for the point-block Jacobi preconditioner.
-func (m *BSRMat) DiagBlocks() []float64 {
-	if !m.finalized {
-		m.Finalize()
-	}
-	bs2 := m.Bs * m.Bs
-	out := make([]float64, m.NRowNodes*bs2)
-	for r := 0; r < m.NRowNodes; r++ {
-		for j := m.sp.Indptr[r]; j < m.sp.Indptr[r+1]; j++ {
-			if int(m.sp.Cols[j]) == r {
-				copy(out[r*bs2:(r+1)*bs2], m.vals[int(j)*bs2:int(j+1)*bs2])
-			}
-		}
-	}
-	return out
 }
 
 // NNZBlocks returns the stored block count.
@@ -365,11 +467,42 @@ func (m *BSRMat) LocalCSR() (indptr []int32, cols []int32, vals []float64, n int
 	return indptr, cols, vals, n
 }
 
+// LocalCSRValuesInto refills vals (from a previous LocalCSR of this
+// matrix, whose pattern is unchanged) with the current owned×owned
+// values, allocation-free. Entries are produced in the same deterministic
+// traversal order as LocalCSR: within scalar row r*bs+bi, one bs-wide
+// group per owned block, in block-column order.
+func (m *BSRMat) LocalCSRValuesInto(indptr []int32, vals []float64) {
+	bs := m.Bs
+	bs2 := bs * bs
+	for r := 0; r < m.NRowNodes; r++ {
+		nOwned := 0
+		for j := m.sp.Indptr[r]; j < m.sp.Indptr[r+1]; j++ {
+			if int(m.sp.Cols[j]) >= m.NRowNodes {
+				continue
+			}
+			blk := m.vals[int(j)*bs2 : int(j+1)*bs2]
+			for bi := 0; bi < bs; bi++ {
+				base := int(indptr[r*bs+bi]) + nOwned*bs
+				copy(vals[base:base+bs], blk[bi*bs:(bi+1)*bs])
+			}
+			nOwned++
+		}
+	}
+}
+
 // InvertSmall inverts an n x n row-major matrix in place using Gauss-
 // Jordan with partial pivoting. Returns false if singular. Used for
-// diagonal blocks (n <= 8).
+// diagonal blocks (n <= 8), where the scratch stays on the stack so
+// preconditioner refreshes allocate nothing.
 func InvertSmall(a []float64, n int) bool {
-	inv := make([]float64, n*n)
+	var buf [maxBs * maxBs]float64
+	var inv []float64
+	if n <= maxBs {
+		inv = buf[:n*n]
+	} else {
+		inv = make([]float64, n*n)
+	}
 	for i := 0; i < n; i++ {
 		inv[i*n+i] = 1
 	}

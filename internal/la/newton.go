@@ -1,6 +1,10 @@
 package la
 
-import "math"
+import (
+	"math"
+
+	"proteus/internal/par"
+)
 
 // NewtonProblem supplies the nonlinear residual and Jacobian for a Newton
 // solve, mirroring the PETSc SNES callbacks. Vectors are full local
@@ -12,7 +16,9 @@ type NewtonProblem interface {
 	Jacobian(x []float64) (Operator, PC)
 }
 
-// Newton is a damped Newton-Krylov driver.
+// Newton is a damped Newton-Krylov driver. Like KSP it keeps a persistent
+// workspace (work vectors plus the inner KSP and its workspace), so
+// repeated Solves on the same problem shape allocate nothing.
 type Newton struct {
 	Red     Reducer
 	KSP     Method  // inner Krylov method
@@ -21,9 +27,16 @@ type Newton struct {
 	MaxIt   int     // default 50
 	LinRtol float64 // inner linear relative tolerance (default 1e-8)
 
+	// Pool shards the inner solver's kernels (see KSP.Pool).
+	Pool *par.Pool
+
 	// Iterations and LinearIterations report the last solve's work.
 	Iterations       int
 	LinearIterations int
+
+	ksp                *KSP
+	r, dx, xTrial, rhs []float64
+	red                [1]float64
 }
 
 // Solve drives F(x) = 0 starting from x. Returns true on convergence.
@@ -53,15 +66,24 @@ func (nw *Newton) Solve(p NewtonProblem, x []float64) bool {
 		for i := 0; i < n; i++ {
 			s += v[i] * v[i]
 		}
-		return math.Sqrt(nw.Red.GlobalSumN([]float64{s})[0])
+		nw.red[0] = s
+		nw.Red.GlobalSumInto(nw.red[:])
+		return math.Sqrt(nw.red[0])
 	}
 
 	op, pc := p.Jacobian(x)
 	n := op.Rows()
 	full := op.FullLen()
-	r := make([]float64, full)
-	dx := make([]float64, full)
-	xTrial := make([]float64, full)
+	if len(nw.r) != full {
+		nw.r = make([]float64, full)
+		nw.dx = make([]float64, full)
+		nw.xTrial = make([]float64, full)
+		nw.rhs = make([]float64, full)
+	}
+	if nw.ksp == nil {
+		nw.ksp = &KSP{}
+	}
+	r, dx, xTrial, rhs := nw.r, nw.dx, nw.xTrial, nw.rhs
 	p.Residual(x, r)
 	r0 := norm(r, n)
 	if r0 <= nw.Atol {
@@ -74,14 +96,15 @@ func (nw *Newton) Solve(p NewtonProblem, x []float64) bool {
 			op, pc = p.Jacobian(x)
 		}
 		// Solve J dx = -r.
-		rhs := make([]float64, full)
 		for i := 0; i < n; i++ {
 			rhs[i] = -r[i]
 		}
 		for i := range dx {
 			dx[i] = 0
 		}
-		ksp := &KSP{Op: op, PC: pc, Red: nw.Red, Type: nw.KSP, Rtol: nw.LinRtol, Atol: nw.Atol * 1e-2}
+		ksp := nw.ksp
+		ksp.Op, ksp.PC, ksp.Red, ksp.Pool = op, pc, nw.Red, nw.Pool
+		ksp.Type, ksp.Rtol, ksp.Atol = nw.KSP, nw.LinRtol, nw.Atol*1e-2
 		res := ksp.Solve(rhs, dx)
 		nw.LinearIterations += res.Iterations
 		// Backtracking line search.

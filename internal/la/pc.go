@@ -7,6 +7,14 @@ type PC interface {
 	Apply(r, z []float64)
 }
 
+// Refresher is a PC that can refactor itself in place from its matrix's
+// re-assembled values, without reallocating: the warm path of a
+// persistent-operator time loop (the pattern is frozen, only values
+// change). Call Refresh after each reassembly, before Solve.
+type Refresher interface {
+	Refresh()
+}
+
 // PCNone is the identity preconditioner.
 type PCNone struct{}
 
@@ -16,25 +24,42 @@ func (PCNone) Apply(r, z []float64) { copy(z, r) }
 // PCJacobi scales by the inverse of the scalar diagonal (PETSc "jacobi",
 // used for the VU mass solves in Table II).
 type PCJacobi struct {
+	m   *BSRMat
 	inv []float64
 }
 
 // NewPCJacobi extracts the scalar diagonal of m.
 func NewPCJacobi(m *BSRMat) *PCJacobi {
+	if !m.Finalized() {
+		m.Finalize()
+	}
+	p := &PCJacobi{m: m, inv: make([]float64, m.Rows())}
+	p.Refresh()
+	return p
+}
+
+// Refresh re-extracts the inverse diagonal from the matrix values in
+// place. Implements Refresher; allocation-free.
+func (p *PCJacobi) Refresh() {
+	m := p.m
 	bs := m.Bs
-	blocks := m.DiagBlocks()
-	inv := make([]float64, m.Rows())
+	bs2 := bs * bs
 	for rn := 0; rn < m.NRowNodes; rn++ {
 		for d := 0; d < bs; d++ {
-			v := blocks[rn*bs*bs+d*bs+d]
-			if v != 0 {
-				inv[rn*bs+d] = 1 / v
-			} else {
-				inv[rn*bs+d] = 1
+			p.inv[rn*bs+d] = 1
+		}
+		for j := m.sp.Indptr[rn]; j < m.sp.Indptr[rn+1]; j++ {
+			if int(m.sp.Cols[j]) != rn {
+				continue
+			}
+			blk := m.vals[int(j)*bs2 : int(j+1)*bs2]
+			for d := 0; d < bs; d++ {
+				if v := blk[d*bs+d]; v != 0 {
+					p.inv[rn*bs+d] = 1 / v
+				}
 			}
 		}
 	}
-	return &PCJacobi{inv: inv}
 }
 
 // Apply implements PC.
@@ -47,27 +72,48 @@ func (p *PCJacobi) Apply(r, z []float64) {
 // PCPBJacobi inverts the dense bs x bs diagonal blocks (PETSc "pbjacobi"),
 // the natural point-block preconditioner for BAIJ matrices.
 type PCPBJacobi struct {
+	m   *BSRMat
 	bs  int
 	inv []float64
 }
 
 // NewPCPBJacobi inverts every diagonal block of m.
 func NewPCPBJacobi(m *BSRMat) *PCPBJacobi {
+	if !m.Finalized() {
+		m.Finalize()
+	}
 	bs := m.Bs
+	p := &PCPBJacobi{m: m, bs: bs, inv: make([]float64, m.NRowNodes*bs*bs)}
+	p.Refresh()
+	return p
+}
+
+// Refresh re-extracts and re-inverts the diagonal blocks in place.
+// Implements Refresher; allocation-free.
+func (p *PCPBJacobi) Refresh() {
+	m := p.m
+	bs := p.bs
 	bs2 := bs * bs
-	blocks := m.DiagBlocks()
 	for rn := 0; rn < m.NRowNodes; rn++ {
-		if !InvertSmall(blocks[rn*bs2:(rn+1)*bs2], bs) {
+		blk := p.inv[rn*bs2 : (rn+1)*bs2]
+		for i := range blk {
+			blk[i] = 0
+		}
+		for j := m.sp.Indptr[rn]; j < m.sp.Indptr[rn+1]; j++ {
+			if int(m.sp.Cols[j]) == rn {
+				copy(blk, m.vals[int(j)*bs2:int(j+1)*bs2])
+			}
+		}
+		if !InvertSmall(blk, bs) {
 			// Singular diagonal block: fall back to identity.
-			for i := 0; i < bs2; i++ {
-				blocks[rn*bs2+i] = 0
+			for i := range blk {
+				blk[i] = 0
 			}
 			for d := 0; d < bs; d++ {
-				blocks[rn*bs2+d*bs+d] = 1
+				blk[d*bs+d] = 1
 			}
 		}
 	}
-	return &PCPBJacobi{bs: bs, inv: blocks}
 }
 
 // Apply implements PC.
@@ -90,24 +136,45 @@ func (p *PCPBJacobi) Apply(r, z []float64) {
 // PCBJacobiILU0 is block-Jacobi across ranks with an ILU(0)
 // factorization of the local owned diagonal block as the subdomain solver
 // — the PETSc default "bjacobi" configuration used for the CH, NS and PP
-// solves in Table II.
+// solves in Table II. The factorization index (diagonal slots and the
+// per-entry update positions of the elimination) is built once from the
+// frozen pattern; Refresh re-extracts the values and refactors in place
+// with no allocation and no hashing on the warm path.
 type PCBJacobiILU0 struct {
+	m      *BSRMat
 	n      int
 	indptr []int32
 	cols   []int32
 	lu     []float64
 	diag   []int32 // index of the diagonal entry in each row
+	// updOff[j]:updOff[j+1] indexes the precomputed ILU(0) row updates
+	// triggered by lower-triangular entry j: lu[updDst] -= lik*lu[updSrc].
+	updOff []int32
+	updSrc []int32
+	updDst []int32
 }
 
 // NewPCBJacobiILU0 factors the local owned submatrix of m in place.
 func NewPCBJacobiILU0(m *BSRMat) *PCBJacobiILU0 {
 	indptr, cols, vals, n := m.LocalCSR()
-	p := &PCBJacobiILU0{n: n, indptr: indptr, cols: cols, lu: vals, diag: make([]int32, n)}
+	p := &PCBJacobiILU0{m: m, n: n, indptr: indptr, cols: cols, lu: vals, diag: make([]int32, n)}
+	p.buildIndex()
 	p.factor()
 	return p
 }
 
-func (p *PCBJacobiILU0) factor() {
+// Refresh re-extracts the owned submatrix values and refactors on the
+// frozen pattern. Implements Refresher; allocation-free.
+func (p *PCBJacobiILU0) Refresh() {
+	p.m.LocalCSRValuesInto(p.indptr, p.lu)
+	p.factor()
+}
+
+// buildIndex records each row's diagonal slot and precomputes, for every
+// lower-triangular entry, the (source, destination) pairs its elimination
+// row update hits — the ILU(0) pattern intersection, resolved once with a
+// transient hash map so factor itself is a pure array sweep.
+func (p *PCBJacobiILU0) buildIndex() {
 	n := p.n
 	colPos := make(map[int64]int32, len(p.cols))
 	for r := 0; r < n; r++ {
@@ -122,6 +189,29 @@ func (p *PCBJacobiILU0) factor() {
 		if int(p.cols[p.diag[r]]) != r {
 			panic(fmt.Sprintf("la: missing diagonal in row %d", r))
 		}
+	}
+	p.updOff = make([]int32, len(p.cols)+1)
+	for r := 0; r < n; r++ {
+		for j := p.indptr[r]; j < p.indptr[r+1]; j++ {
+			p.updOff[j+1] = p.updOff[j]
+			k := int(p.cols[j])
+			if k >= r {
+				continue
+			}
+			for jj := p.diag[k] + 1; jj < p.indptr[k+1]; jj++ {
+				if pos, ok := colPos[int64(r)<<32|int64(p.cols[jj])]; ok {
+					p.updSrc = append(p.updSrc, jj)
+					p.updDst = append(p.updDst, pos)
+					p.updOff[j+1]++
+				}
+			}
+		}
+	}
+}
+
+func (p *PCBJacobiILU0) factor() {
+	n := p.n
+	for r := 0; r < n; r++ {
 		for j := p.indptr[r]; j < p.indptr[r+1]; j++ {
 			k := int(p.cols[j])
 			if k >= r {
@@ -133,12 +223,10 @@ func (p *PCBJacobiILU0) factor() {
 			}
 			lik := p.lu[j] / dk
 			p.lu[j] = lik
-			// Row update restricted to the existing pattern (ILU(0)).
-			for jj := p.diag[k] + 1; jj < p.indptr[k+1]; jj++ {
-				c := p.cols[jj]
-				if pos, ok := colPos[int64(r)<<32|int64(c)]; ok {
-					p.lu[pos] -= lik * p.lu[jj]
-				}
+			// Row update restricted to the existing pattern (ILU(0)),
+			// through the precomputed position pairs.
+			for u := p.updOff[j]; u < p.updOff[j+1]; u++ {
+				p.lu[p.updDst[u]] -= lik * p.lu[p.updSrc[u]]
 			}
 		}
 	}

@@ -1,5 +1,7 @@
 package la
 
+import "sync"
+
 // Sparsity is the frozen index structure of a block-CSR matrix: row
 // pointers and sorted column indices, with no values. It is immutable
 // after construction, so every operator assembled on the same mesh with
@@ -14,6 +16,47 @@ type Sparsity struct {
 	NRows  int // block rows
 	Indptr []int32
 	Cols   []int32
+
+	// Interior/boundary row split (lazily derived once; see RowSplit).
+	splitOnce sync.Once
+	interior  []int32
+	boundary  []int32
+}
+
+// RowSplit partitions the block rows by whether they touch a ghost
+// column (one with index >= NRows, the owned block-column count): the
+// returned interior rows read only owned entries of x, so their SpMV can
+// run while the ghost exchange is still in flight; the boundary rows must
+// wait for it. Derived once from the frozen pattern and cached — the
+// structural basis of the overlapped BSRMat.Apply.
+func (s *Sparsity) RowSplit() (interior, boundary []int32) {
+	s.splitOnce.Do(func() {
+		nInterior := 0
+		for r := 0; r < s.NRows; r++ {
+			if s.rowIsInterior(r) {
+				nInterior++
+			}
+		}
+		s.interior = make([]int32, 0, nInterior)
+		s.boundary = make([]int32, 0, s.NRows-nInterior)
+		for r := 0; r < s.NRows; r++ {
+			if s.rowIsInterior(r) {
+				s.interior = append(s.interior, int32(r))
+			} else {
+				s.boundary = append(s.boundary, int32(r))
+			}
+		}
+	})
+	return s.interior, s.boundary
+}
+
+func (s *Sparsity) rowIsInterior(r int) bool {
+	for j := s.Indptr[r]; j < s.Indptr[r+1]; j++ {
+		if int(s.Cols[j]) >= s.NRows {
+			return false
+		}
+	}
+	return true
 }
 
 // NNZ returns the stored (block) entry count.

@@ -21,16 +21,42 @@ func (m *Mesh) NewVec(ndof int) []float64 {
 // every local node value is current. v must have NumLocal*ndof entries.
 // Collective.
 func (m *Mesh) GhostRead(v []float64, ndof int) {
+	m.GhostReadBegin(v, ndof)
+	m.GhostReadEnd(v, ndof)
+}
+
+// GhostReadBegin starts a ghost read: the owned segments borrowed by
+// peers are serialized (into per-peer reusable buffers) and sent. Local
+// computation that touches only owned entries of v may run between Begin
+// and End — the overlap window BSRMat.Apply uses to hide the exchange
+// behind its interior rows. Implements la.OverlapScatter. Collective with
+// GhostReadEnd.
+func (m *Mesh) GhostReadBegin(v []float64, ndof int) {
 	c := m.Comm
 	if c.Size() == 1 {
 		return
 	}
-	for _, pl := range m.sendTo {
-		buf := make([]float64, len(pl.idx)*ndof)
+	for i := range m.sendTo {
+		pl := &m.sendTo[i]
+		need := len(pl.idx) * ndof
+		if cap(pl.buf) < need {
+			pl.buf = make([]float64, need)
+		}
+		buf := pl.buf[:need]
 		for k, li := range pl.idx {
 			copy(buf[k*ndof:(k+1)*ndof], v[int(li)*ndof:(int(li)+1)*ndof])
 		}
 		par.SendSlice(c, pl.rank, tagGhostRead, buf)
+	}
+}
+
+// GhostReadEnd completes a ghost read started by GhostReadBegin, filling
+// the ghost segment of v. The trailing barrier lets every rank safely
+// reuse its send buffers in the next exchange.
+func (m *Mesh) GhostReadEnd(v []float64, ndof int) {
+	c := m.Comm
+	if c.Size() == 1 {
+		return
 	}
 	for range m.recvFrom {
 		buf, src := par.RecvSlice[float64](c, par.AnySource, tagGhostRead)
@@ -51,8 +77,13 @@ func (m *Mesh) GhostWrite(v []float64, ndof int, op func(own, in float64) float6
 	if c.Size() == 1 {
 		return
 	}
-	for _, pl := range m.recvFrom {
-		buf := make([]float64, len(pl.idx)*ndof)
+	for i := range m.recvFrom {
+		pl := &m.recvFrom[i]
+		need := len(pl.idx) * ndof
+		if cap(pl.buf) < need {
+			pl.buf = make([]float64, need)
+		}
+		buf := pl.buf[:need]
 		for k, li := range pl.idx {
 			copy(buf[k*ndof:(k+1)*ndof], v[int(li)*ndof:(int(li)+1)*ndof])
 			for d := 0; d < ndof; d++ {
@@ -116,10 +147,42 @@ func (m *Mesh) GlobalSum(v float64) float64 {
 	return par.Allreduce(m.Comm, v, func(a, b float64) float64 { return a + b })
 }
 
-// GlobalSumN element-wise sums a small vector across ranks (implements
-// la.Reducer).
+// GlobalSumN element-wise sums a small vector across ranks.
 func (m *Mesh) GlobalSumN(vals []float64) []float64 {
 	return par.AllreduceSlice(m.Comm, vals, func(a, b float64) float64 { return a + b })
+}
+
+// GlobalSumInto element-wise sums vals across ranks in place (implements
+// la.Reducer). The rank combine order is the deterministic binomial tree
+// of par.Reduce, so results reproduce run to run. The reduction stages
+// through the mesh's alternating scratch buffers instead of allocating
+// per call; only the comm layer's message envelopes remain.
+func (m *Mesh) GlobalSumInto(vals []float64) {
+	c := m.Comm
+	if c.Size() == 1 {
+		return
+	}
+	m.redTick ^= 1
+	buf := m.redScratch[m.redTick]
+	if cap(buf) < len(vals) {
+		buf = make([]float64, len(vals))
+	}
+	buf = buf[:len(vals)]
+	m.redScratch[m.redTick] = buf
+	copy(buf, vals)
+	red := par.Reduce(c, 0, buf, addInPlace)
+	copy(vals, par.BcastSlice(c, 0, red))
+}
+
+// addInPlace is the in-place combine of GlobalSumInto: a absorbs b.
+func addInPlace(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("mesh: GlobalSumInto length mismatch across ranks")
+	}
+	for i := range a {
+		a[i] += b[i]
+	}
+	return a
 }
 
 // GlobalMax reduces the maximum across ranks.

@@ -81,6 +81,15 @@ type Mesh struct {
 	// index maps node keys to local indices.
 	index map[NodeKey]int32
 
+	// redScratch holds two alternating buffers for in-place global
+	// reductions (GlobalSumInto). Two suffice: a buffer broadcast in
+	// collective k can still be read by a lagging rank until it enters
+	// collective k+1, and is only reused in collective k+2 — by which
+	// point every rank has participated in k+1 and therefore finished
+	// with k's buffer.
+	redScratch [2][]float64
+	redTick    int
+
 	// HangingCorners counts constrained element corners (diagnostics).
 	HangingCorners int
 }
@@ -104,6 +113,11 @@ func (m *Mesh) OnBoundary(i int) bool {
 type peerList struct {
 	rank int
 	idx  []int32
+	// buf is the reusable serialization buffer for ghost exchange with
+	// this peer (grown to the largest ndof seen). Safe to reuse across
+	// exchanges: each exchange ends with a barrier the receiver enters
+	// only after copying the payload out.
+	buf []float64
 }
 
 // CornersPerElem returns 2^Dim.
