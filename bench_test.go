@@ -111,6 +111,144 @@ func BenchmarkTableI_RemeshLevelByLevel(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// Remesh persistence — the Table I "Remesh" column / Fig. 7 treatment
+// (PR 3): the batched single-round transfer versus the sequential
+// per-field Nodal baseline, and the full remesh pipeline with its
+// detect/refine/coarsen/balance/partition/build/transfer split.
+// ---------------------------------------------------------------------------
+
+// remeshDiscTree refines inside a disc to `fine`, `base` elsewhere.
+func remeshDiscTree(base, fine int, cx, cy, r float64) *octree.Tree {
+	return octree.Build(2, func(o sfc.Octant) bool {
+		if int(o.Level) < base {
+			return true
+		}
+		if int(o.Level) >= fine {
+			return false
+		}
+		s := float64(o.Side()) / float64(sfc.MaxCoord)
+		x := float64(o.X)/float64(sfc.MaxCoord) + s/2
+		y := float64(o.Y)/float64(sfc.MaxCoord) + s/2
+		return math.Hypot(x-cx, y-cy) < r
+	}, fine, nil).Balance21(nil)
+}
+
+// transferTime moves the full CHNS field set (PhiMu 2-dof, Vel 2-dof,
+// P 1-dof) between two adaptive grids, batched or per-field sequential.
+func transferTime(p int, batched bool, reps int) time.Duration {
+	var dt time.Duration
+	par.Run(p, func(c *par.Comm) {
+		oldT := remeshDiscTree(4, 7, 0.35, 0.35, 0.2)
+		newT := remeshDiscTree(4, 7, 0.6, 0.6, 0.2)
+		scatter := func(t *octree.Tree) []sfc.Octant {
+			n := t.Len()
+			lo, hi := c.Rank()*n/p, (c.Rank()+1)*n/p
+			out := make([]sfc.Octant, hi-lo)
+			copy(out, t.Leaves[lo:hi])
+			return out
+		}
+		mOld := mesh.New(c, 2, scatter(oldT))
+		mNew := mesh.New(c, 2, scatter(newT))
+		phiMu, vel, pr := mOld.NewVec(2), mOld.NewVec(2), mOld.NewVec(1)
+		for i := 0; i < mOld.NumLocal; i++ {
+			x, y, _ := mOld.NodeCoord(i)
+			phiMu[2*i] = math.Tanh(20 * (math.Hypot(x-0.35, y-0.35) - 0.2))
+			phiMu[2*i+1] = math.Sin(3 * x)
+			vel[2*i], vel[2*i+1] = y, -x
+			pr[i] = x + y
+		}
+		ws := &transfer.Workspace{}
+		c.Barrier()
+		t0 := time.Now()
+		for r := 0; r < reps; r++ {
+			if batched {
+				dPhiMu, dVel, dP := mNew.NewVec(2), mNew.NewVec(2), mNew.NewVec(1)
+				transfer.Batch(mOld, mNew, []transfer.Field{
+					{Src: phiMu, Dst: dPhiMu, Ndof: 2},
+					{Src: vel, Dst: dVel, Ndof: 2},
+					{Src: pr, Dst: dP, Ndof: 1},
+				}, ws)
+			} else {
+				transfer.Nodal(mOld, phiMu, mNew, 2)
+				transfer.Nodal(mOld, vel, mNew, 2)
+				transfer.Nodal(mOld, pr, mNew, 1)
+			}
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			dt = time.Since(t0) / time.Duration(reps)
+		}
+	})
+	return dt
+}
+
+func BenchmarkTransferBatched(b *testing.B) {
+	var dt time.Duration
+	for i := 0; i < b.N; i++ {
+		dt = transferTime(4, true, 3)
+	}
+	b.ReportMetric(float64(dt.Microseconds())/1000, "transfer-ms")
+}
+
+func BenchmarkTransferSequential(b *testing.B) {
+	var dt time.Duration
+	for i := 0; i < b.N; i++ {
+		dt = transferTime(4, false, 3)
+	}
+	b.ReportMetric(float64(dt.Microseconds())/1000, "transfer-ms")
+}
+
+// benchRemeshPipeline drives a remesh-every-step swirling-drop run and
+// reports the per-round remesh wall-clock split into its pipeline stages.
+func benchRemeshPipeline(b *testing.B, sequential bool) {
+	swirl := func(x, y, z, t float64) (float64, float64, float64) {
+		sx := math.Sin(math.Pi * x)
+		sy := math.Sin(math.Pi * y)
+		return 2 * sx * sx * sy * math.Cos(math.Pi*y), -2 * sx * math.Cos(math.Pi*x) * sy * sy, 0
+	}
+	var t chns.Timers
+	for i := 0; i < b.N; i++ {
+		prm := chns.DefaultParams()
+		prm.Cn = 0.03
+		prm.Pe = 1000
+		cfg := core.Config{
+			Dim: 2, Params: prm, Opt: chns.DefaultOptions(2e-3),
+			BulkLevel: 4, InterfaceLevel: 6,
+			RemeshEvery: 1, PrescribedVel: swirl,
+			SequentialTransfer: sequential,
+		}
+		par.Run(4, func(c *par.Comm) {
+			sim := core.New(c, cfg, func(x, y, z float64) float64 {
+				return chns.EquilibriumProfile(math.Hypot(x-0.5, y-0.7)-0.15, prm.Cn)
+			})
+			sim.Run(6)
+			if c.Rank() == 0 {
+				t = sim.Timers()
+			}
+		})
+	}
+	rs := t.RemeshStages
+	rounds := float64(rs.Rounds)
+	if rounds == 0 {
+		rounds = 1
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / rounds / 1000 }
+	b.ReportMetric(float64(t.Remesh.Total.Microseconds())/rounds/1000, "remesh-ms")
+	b.ReportMetric(ms(rs.Detect), "detect-ms")
+	b.ReportMetric(ms(rs.Refine), "refine-ms")
+	b.ReportMetric(ms(rs.Coarsen), "coarsen-ms")
+	b.ReportMetric(ms(rs.Balance), "balance-ms")
+	b.ReportMetric(ms(rs.Partition), "partition-ms")
+	b.ReportMetric(ms(rs.Build), "build-ms")
+	b.ReportMetric(ms(rs.Transfer), "transfer-ms")
+	b.ReportMetric(float64(rs.Rounds), "rounds")
+	b.ReportMetric(float64(rs.PartitionOnly), "partition-only-rounds")
+}
+
+func BenchmarkRemeshPipeline_Batched(b *testing.B)    { benchRemeshPipeline(b, false) }
+func BenchmarkRemeshPipeline_Sequential(b *testing.B) { benchRemeshPipeline(b, true) }
+
+// ---------------------------------------------------------------------------
 // Assembly persistence — cold (first assembly: COO-map sparsity build +
 // freeze + scatter-plan construction) versus warm (plan-driven
 // reassembly on the frozen pattern), per Table I layout. The warm path

@@ -258,9 +258,12 @@ func (s *Solver) StepCH(velOverride []float64) {
 	copy(s.chOld, s.PhiMu)
 	s.chProb = chProblem{s: s, old: s.chOld, dt: s.Opt.Dt, theta: s.Opt.Theta}
 	if s.chNewton == nil {
-		s.chNewton = &la.Newton{Red: m, KSP: la.BiCGS, Rtol: s.Opt.NonlinTol, Atol: s.Opt.NonlinTol,
-			LinRtol: s.Opt.LinTol, MaxIt: 30, Pool: s.pool}
+		s.chNewton = &la.Newton{KSP: la.BiCGS, Rtol: s.Opt.NonlinTol, Atol: s.Opt.NonlinTol,
+			LinRtol: s.Opt.LinTol, MaxIt: 30}
 	}
+	// The driver persists across remeshes (Rebind keeps it); re-point its
+	// reducer and pool at the current mesh generation every step.
+	s.chNewton.Red, s.chNewton.Pool = m, s.pool
 	nw := s.chNewton
 	nw.Solve(&s.chProb, s.PhiMu)
 	m.GhostRead(s.PhiMu, 2)

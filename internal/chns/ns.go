@@ -258,14 +258,18 @@ func (s *Solver) StepNS() {
 	}
 	tSolve := time.Now()
 	// Persistent KSP + PC: the Krylov workspace is allocated on the first
-	// step and reused; the ILU(0) refactors in place from the new values.
-	if s.nsKSP == nil {
+	// step and reused (resized in place across a Rebind); the ILU(0)
+	// refactors in place from the new values while the mesh is unchanged
+	// and is rebuilt with the operator after a remesh.
+	if s.nsPC == nil {
 		s.nsPC = la.NewPCBJacobiILU0(mat)
-		s.nsKSP = &la.KSP{Op: mat, PC: s.nsPC, Red: m, Pool: s.pool,
-			Type: la.BiCGS, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
 	} else {
 		s.nsPC.Refresh()
 	}
+	if s.nsKSP == nil {
+		s.nsKSP = &la.KSP{Type: la.BiCGS, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
+	}
+	s.nsKSP.Op, s.nsKSP.PC, s.nsKSP.Red, s.nsKSP.Pool = mat, s.nsPC, m, s.pool
 	res := s.nsKSP.Solve(rhs, s.Vel)
 	s.T.NS.Solve += time.Since(tSolve)
 	s.T.NS.Iterations += res.Iterations

@@ -119,14 +119,17 @@ func (s *Solver) StepPP() []float64 {
 		psi[i] = 0
 	}
 	tSolve := time.Now()
-	// Persistent KSP + PC: workspace reused, ILU(0) refactored in place.
-	if s.ppKSP == nil {
+	// Persistent KSP + PC: workspace reused (resized in place across a
+	// Rebind), ILU(0) refactored in place while the mesh is unchanged.
+	if s.ppPC == nil {
 		s.ppPC = la.NewPCBJacobiILU0(mat)
-		s.ppKSP = &la.KSP{Op: mat, PC: s.ppPC, Red: m, Pool: s.pool,
-			Type: la.IBiCGS, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
 	} else {
 		s.ppPC.Refresh()
 	}
+	if s.ppKSP == nil {
+		s.ppKSP = &la.KSP{Type: la.IBiCGS, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
+	}
+	s.ppKSP.Op, s.ppKSP.PC, s.ppKSP.Red, s.ppKSP.Pool = mat, s.ppPC, m, s.pool
 	res := s.ppKSP.Solve(rhs, psi)
 	s.T.PP.Solve += time.Since(tSolve)
 	s.T.PP.Iterations += res.Iterations

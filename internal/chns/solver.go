@@ -18,6 +18,9 @@ type StageTimes struct {
 // Timers accumulates stage timings across steps (Fig. 7 / Table I).
 type Timers struct {
 	CH, NS, PP, VU, Remesh StageTimes
+	// RemeshStages splits Remesh.Total into the adaptation pipeline's
+	// phases for the Fig. 7 / Table I "Remesh" accounting.
+	RemeshStages RemeshTimes
 }
 
 // Add accumulates o into t.
@@ -27,6 +30,33 @@ func (t *StageTimes) Add(o StageTimes) {
 	t.Solve += o.Solve
 	t.Total += o.Total
 	t.Iterations += o.Iterations
+}
+
+// RemeshTimes splits the remesh wall-clock into pipeline stages: feature
+// detection and target marking, multi-level refinement, consensus
+// coarsening, 2:1 balancing, SFC repartitioning, distributed mesh
+// (re)build, and field transfer.
+type RemeshTimes struct {
+	Detect, Refine, Coarsen, Balance, Partition, Build, Transfer time.Duration
+	// Rounds counts every executed adaptation round, including rounds
+	// that left the mesh unchanged (those still pay the detect-through-
+	// partition stages); PartitionOnly counts the rounds whose global
+	// forest was unchanged but whose partition moved, so fields were
+	// migrated exactly (no interpolation).
+	Rounds, PartitionOnly int
+}
+
+// Add accumulates o into t.
+func (t *RemeshTimes) Add(o RemeshTimes) {
+	t.Detect += o.Detect
+	t.Refine += o.Refine
+	t.Coarsen += o.Coarsen
+	t.Balance += o.Balance
+	t.Partition += o.Partition
+	t.Build += o.Build
+	t.Transfer += o.Transfer
+	t.Rounds += o.Rounds
+	t.PartitionOnly += o.PartitionOnly
 }
 
 // Options configures the solver implementation choices being benchmarked.
@@ -217,6 +247,43 @@ func (s *Solver) SetMeshEpoch(e uint64) {
 
 // MeshEpoch returns the solver's current mesh epoch.
 func (s *Solver) MeshEpoch() uint64 { return s.meshEpoch }
+
+// Rebind moves the solver to a freshly built mesh (the remesh swap path),
+// preserving everything that survives a mesh change: the worker pool, the
+// assemblers' reference element and per-worker scratch, the per-stage KSP
+// objects (whose Krylov workspaces resize in place on the next Solve) and
+// the Newton driver. Mesh-keyed state — operators, preconditioners,
+// assembly plans, per-step vectors — is dropped and rebuilt lazily on the
+// next step, exactly as the epoch bump demands: sparsity and plans are
+// invalidated, storage that can persist does. State vectors (PhiMu, Vel,
+// P, ElemCn) are reallocated at the new sizes and left for the caller to
+// fill by transfer/migration; ElemCn starts at the uniform Cahn number.
+func (s *Solver) Rebind(m *mesh.Mesh, epoch uint64) {
+	s.M = m
+	s.PhiMu = m.NewVec(2)
+	s.Vel = m.NewVec(m.Dim)
+	s.P = m.NewVec(1)
+	s.ElemCn = make([]float64, m.NumElems())
+	for i := range s.ElemCn {
+		s.ElemCn[i] = s.Par.Cn
+	}
+	s.asmCH.Rebind(m)
+	s.asmVel.Rebind(m)
+	s.asmS.Rebind(m)
+	s.meshEpoch = epoch
+	s.asmCH.SetEpoch(epoch)
+	s.asmVel.SetEpoch(epoch)
+	s.asmS.SetEpoch(epoch)
+	// Mesh-keyed operators, preconditioners and per-step vectors go; the
+	// KSP/Newton objects and the pool stay.
+	s.chMat, s.nsMat, s.ppMat, s.vuBlockMat = nil, nil, nil, nil
+	s.vuMass, s.vuMassPC = nil, nil
+	s.chPC, s.nsPC, s.ppPC, s.vuBlockPC = nil, nil, nil, nil
+	s.chOld = nil
+	s.nsRHS = nil
+	s.ppRHS, s.ppPsi = nil, nil
+	s.vuRHS, s.vuComp, s.vuNewVel, s.vuBlockRHS = nil, nil, nil, nil
+}
 
 // SetPhi initializes φ from a point function and sets μ consistently to 0.
 func (s *Solver) SetPhi(f func(x, y, z float64) float64) {

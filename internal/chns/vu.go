@@ -88,11 +88,12 @@ func (s *Solver) StepVU(psi []float64) {
 			s.vuRHS = m.NewVec(1)
 		}
 		newVel, comp, rhs := s.vuNewVel, s.vuComp, s.vuRHS
-		// Persistent KSP: one warm CG workspace shared by all components.
+		// Persistent KSP: one warm CG workspace shared by all components,
+		// re-pointed at the (possibly rebuilt) mass operator each step.
 		if s.vuKSP == nil {
-			s.vuKSP = &la.KSP{Op: s.vuMass, PC: s.vuMassPC, Red: m, Pool: s.pool,
-				Type: la.CG, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
+			s.vuKSP = &la.KSP{Type: la.CG, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
 		}
+		s.vuKSP.Op, s.vuKSP.PC, s.vuKSP.Red, s.vuKSP.Pool = s.vuMass, s.vuMassPC, m, s.pool
 		for d := 0; d < dim; d++ {
 			tVec := time.Now()
 			s.asmS.AssembleVector(rhs, func(e int, h float64, fe []float64) {
@@ -168,14 +169,17 @@ func (s *Solver) StepVU(psi []float64) {
 			}
 		}
 		tSolve := time.Now()
-		// Persistent KSP + Jacobi PC refreshed from the new values.
-		if s.vuBlockKSP == nil {
+		// Persistent KSP + Jacobi PC refreshed from the new values (the PC
+		// is rebuilt with the operator after a remesh).
+		if s.vuBlockPC == nil {
 			s.vuBlockPC = la.NewPCJacobi(mat)
-			s.vuBlockKSP = &la.KSP{Op: mat, PC: s.vuBlockPC, Red: m, Pool: s.pool,
-				Type: la.CG, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
 		} else {
 			s.vuBlockPC.Refresh()
 		}
+		if s.vuBlockKSP == nil {
+			s.vuBlockKSP = &la.KSP{Type: la.CG, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
+		}
+		s.vuBlockKSP.Op, s.vuBlockKSP.PC, s.vuBlockKSP.Red, s.vuBlockKSP.Pool = mat, s.vuBlockPC, m, s.pool
 		res := s.vuBlockKSP.Solve(rhs, s.Vel)
 		s.T.VU.Solve += time.Since(tSolve)
 		s.T.VU.Iterations += res.Iterations

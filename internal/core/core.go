@@ -46,6 +46,12 @@ type Config struct {
 	// RemeshEvery triggers adaptation every n steps (default 1).
 	RemeshEvery int
 
+	// SequentialTransfer selects the ablation baseline for remesh-time
+	// field movement: one full Nodal transfer per field (each rebuilding
+	// the old tree, gathering splitters and paying its own NBX round)
+	// instead of the batched single-round transfer. Benchmark use only.
+	SequentialTransfer bool
+
 	// PrescribedVel, when non-nil, runs only the CH block with this
 	// analytic velocity (the Fig. 5 swirling-flow validation mode).
 	PrescribedVel func(x, y, z, t float64) (vx, vy, vz float64)
@@ -89,10 +95,16 @@ type Simulation struct {
 	// never on the steady time-stepping path.
 	MeshEpoch uint64
 
-	// Accumulated timers (the solver's are folded in across remeshes).
+	// Accumulated timers; the live solver's stage timers (which persist
+	// across remeshes since the solver is rebound, not replaced) are added
+	// on top by Timers().
 	T chns.Timers
 	// RemeshCount counts adaptation rounds that changed the mesh.
 	RemeshCount int
+
+	// tws is the reusable batched-transfer workspace, so steady remeshing
+	// does not reallocate the query maps and scratch every round.
+	tws transfer.Workspace
 }
 
 // New builds the initial mesh from the phase-field initializer: the
@@ -183,19 +195,32 @@ func (s *Simulation) Run(n int) {
 	}
 }
 
-// Adapt runs detection and the multi-level remesh pipeline, then
-// transfers every field to the new mesh. Collective.
+// Adapt runs detection and the multi-level remesh pipeline, then moves
+// every field to the new mesh: exactly (bitwise key-addressed migration,
+// no interpolation) when the round turns out to be a pure SFC
+// repartition, and through one batched point-location transfer — a single
+// NBX query/reply round carrying all nodal fields — otherwise. The solver
+// is rebound to the new mesh in place, keeping its worker pool, Krylov
+// workspaces and Newton driver; the epoch bump still invalidates every
+// cached sparsity and assembly plan. Wall-clock is split into the
+// RemeshStages sub-timers. Collective.
 func (s *Simulation) Adapt() {
 	t0 := time.Now()
 	cfg := &s.Cfg
 	m := s.Mesh
 	sol := s.Solver
+	rt := &s.T.RemeshStages
 
-	// Phase field as a scalar vector for detection.
+	// --- Detect: feature identification and per-element level targets.
+	tDetect := time.Now()
 	phi := m.NewVec(1)
 	for i := 0; i < m.NumLocal; i++ {
 		phi[i] = sol.PhiMu[2*i]
 	}
+	// Refresh the ghost slots explicitly: the last solve stage is not
+	// guaranteed to have left PhiMu's ghosts current, and both the
+	// detector and nearInterface read neighbour values through them.
+	m.GhostRead(phi, 1)
 
 	var reduce []bool
 	if cfg.LocalCahn {
@@ -226,9 +251,11 @@ func (s *Simulation) Adapt() {
 			targets[e] = cfg.BulkLevel
 		}
 	}
+	rt.Detect += time.Since(tDetect)
 
-	// Multi-level refinement (local, order-preserving), with target
-	// propagation to descendants.
+	// --- Refine: multi-level refinement (local, order-preserving), with
+	// target propagation to descendants.
+	tRefine := time.Now()
 	var refined []sfc.Octant
 	var refinedTarget []int
 	var refinedCn []float64
@@ -245,57 +272,96 @@ func (s *Simulation) Adapt() {
 		}
 	}
 	for e, o := range m.Elems {
-		tgt := targets[e]
-		if tgt < int(o.Level) {
-			tgt = targets[e] // coarsening handled below; keep leaf
+		if targets[e] < int(o.Level) {
+			// Coarsening wish: keep the leaf as-is here — merging siblings
+			// is a cross-rank consensus decision, made by ParCoarsen below
+			// from the recorded coarser-than-leaf target.
 			refined = append(refined, o)
 			refinedTarget = append(refinedTarget, targets[e])
 			refinedCn = append(refinedCn, cnMark[e])
 			continue
 		}
-		emit(o, tgt, cnMark[e])
+		emit(o, targets[e], cnMark[e])
 	}
+	rt.Refine += time.Since(tRefine)
 
-	// Multi-level consensus coarsening across ranks.
+	// --- Coarsen: multi-level consensus coarsening across ranks.
+	tCoarsen := time.Now()
 	coarse := octree.ParCoarsen(s.Comm, cfg.Dim, refined, refinedTarget)
+	rt.Coarsen += time.Since(tCoarsen)
 
-	// 2:1 balance and repartition.
+	// --- Balance and repartition.
+	tBalance := time.Now()
 	balanced := octree.Balance21Distributed(s.Comm, cfg.Dim, coarse, nil)
+	rt.Balance += time.Since(tBalance)
+	tPartition := time.Now()
 	balanced = octree.PartitionWeighted(s.Comm, balanced, nil)
+	rt.Partition += time.Since(tPartition)
+	// Every executed pipeline counts toward Rounds — including rounds the
+	// mesh turns out unchanged — so the per-round stage averages divide
+	// detect/refine/coarsen/balance/partition time by the number of times
+	// those stages actually ran.
+	rt.Rounds++
 
 	changed := meshChanged(s.Comm, m.Elems, balanced)
 	if !changed {
 		s.T.Remesh.Total += time.Since(t0)
 		return
 	}
+	// Local lists changed; if the global forest did not, the round is a
+	// pure repartition and fields migrate exactly instead of being
+	// re-created through interpolation.
+	partitionOnly := forestUnchanged(s.Comm, m.Elems, balanced)
 
+	// --- Build the new distributed mesh.
+	tBuild := time.Now()
 	newM := mesh.New(s.Comm, cfg.Dim, balanced)
-	// Transfer fields.
-	newPhiMu := transfer.Nodal(m, sol.PhiMu, newM, 2)
-	newVel := transfer.Nodal(m, sol.Vel, newM, cfg.Dim)
-	newP := transfer.Nodal(m, sol.P, newM, 1)
-	newCnMark := transfer.CellCentered(s.Comm, cfg.Dim, refined, refinedCn, newM.Elems)
+	rt.Build += time.Since(tBuild)
 
-	// Swap in a fresh solver bound to the new mesh, folding timers. The
-	// epoch bump invalidates every cached assembly plan and persistent
-	// operator keyed to the old mesh generation.
+	// --- Transfer fields and rebind the solver.
+	tTransfer := time.Now()
 	s.MeshEpoch++
-	s.foldTimers()
-	ns := chns.NewSolver(newM, cfg.Params, cfg.Opt)
-	ns.SetMeshEpoch(s.MeshEpoch)
-	copy(ns.PhiMu, newPhiMu)
-	copy(ns.Vel, newVel)
-	copy(ns.P, newP)
-	for e := range ns.ElemCn {
+	oldPhiMu, oldVel, oldP := sol.PhiMu, sol.Vel, sol.P
+	var newCnMark []float64
+	switch {
+	case partitionOnly:
+		sol.Rebind(newM, s.MeshEpoch)
+		transfer.MigrateNodal(m, newM, []transfer.Field{
+			{Src: oldPhiMu, Dst: sol.PhiMu, Ndof: 2},
+			{Src: oldVel, Dst: sol.Vel, Ndof: cfg.Dim},
+			{Src: oldP, Dst: sol.P, Ndof: 1},
+		})
+		newCnMark = transfer.MigrateElem(s.Comm, m.Elems, cnMark, newM.Elems)
+		rt.PartitionOnly++
+	case cfg.SequentialTransfer:
+		// Ablation baseline: one full Nodal round per field, each paying
+		// its own tree build, splitter gather and NBX round.
+		newPhiMu := transfer.Nodal(m, oldPhiMu, newM, 2)
+		newVel := transfer.Nodal(m, oldVel, newM, cfg.Dim)
+		newP := transfer.Nodal(m, oldP, newM, 1)
+		sol.Rebind(newM, s.MeshEpoch)
+		copy(sol.PhiMu, newPhiMu)
+		copy(sol.Vel, newVel)
+		copy(sol.P, newP)
+		newCnMark = transfer.CellCentered(s.Comm, cfg.Dim, refined, refinedCn, newM.Elems)
+	default:
+		sol.Rebind(newM, s.MeshEpoch)
+		transfer.Batch(m, newM, []transfer.Field{
+			{Src: oldPhiMu, Dst: sol.PhiMu, Ndof: 2},
+			{Src: oldVel, Dst: sol.Vel, Ndof: cfg.Dim},
+			{Src: oldP, Dst: sol.P, Ndof: 1},
+		}, &s.tws)
+		newCnMark = transfer.CellCentered(s.Comm, cfg.Dim, refined, refinedCn, newM.Elems)
+	}
+	for e := range sol.ElemCn {
 		if cfg.LocalCahn && newCnMark[e] > 0.25 {
-			ns.ElemCn[e] = cfg.FineCn
+			sol.ElemCn[e] = cfg.FineCn
 		} else {
-			ns.ElemCn[e] = cfg.Params.Cn
+			sol.ElemCn[e] = cfg.Params.Cn
 		}
 	}
-	sol.Close() // release the replaced solver's worker pool
+	rt.Transfer += time.Since(tTransfer)
 	s.Mesh = newM
-	s.Solver = ns
 	s.RemeshCount++
 	s.T.Remesh.Total += time.Since(t0)
 }
@@ -326,13 +392,47 @@ func meshChanged(c *par.Comm, oldE, newE []sfc.Octant) bool {
 	return par.Allreduce(c, !same, func(a, b bool) bool { return a || b })
 }
 
-// foldTimers accumulates the current solver's stage timers into the
-// simulation-level totals.
-func (s *Simulation) foldTimers() {
-	s.T.CH.Add(s.Solver.T.CH)
-	s.T.NS.Add(s.Solver.T.NS)
-	s.T.PP.Add(s.Solver.T.PP)
-	s.T.VU.Add(s.Solver.T.VU)
+// forestUnchanged reports whether old and new describe the same global
+// leaf sequence — a pure repartition. The comparison is a
+// partition-independent 128-bit fingerprint per forest: each leaf hashes
+// together with its global index and the per-rank partial sums combine
+// by addition, so moving SFC ranges between ranks leaves the value
+// untouched. Both forests share one Exscan and one Allreduce (two
+// collectives total). The exact migration paths re-verify the forests
+// key by key, so a fingerprint collision fails loudly downstream instead
+// of corrupting fields. Collective.
+func forestUnchanged(c *par.Comm, oldE, newE []sfc.Octant) bool {
+	off := par.Exscan(c, [2]int64{int64(len(oldE)), int64(len(newE))}, [2]int64{},
+		func(a, b [2]int64) [2]int64 { return [2]int64{a[0] + b[0], a[1] + b[1]} })
+	// sums: [oldCount, newCount, oldH0, oldH1, newH0, newH1].
+	sums := make([]uint64, 6)
+	sums[0], sums[1] = uint64(len(oldE)), uint64(len(newE))
+	forestHash(oldE, off[0], sums[2:4])
+	forestHash(newE, off[1], sums[4:6])
+	sums = par.AllreduceSlice(c, sums, func(a, b uint64) uint64 { return a + b })
+	return sums[0] == sums[1] && sums[2] == sums[4] && sums[3] == sums[5]
+}
+
+// forestHash accumulates the position-dependent leaf fingerprint of a
+// local SFC range starting at global index off into h[0:2].
+func forestHash(leaves []sfc.Octant, off int64, h []uint64) {
+	for i, o := range leaves {
+		k := mix64(uint64(o.X)<<32 | uint64(o.Y))
+		k = mix64(k ^ (uint64(o.Z)<<8 | uint64(o.Level)))
+		k = mix64(k ^ uint64(off+int64(i)))
+		h[0] += k
+		h[1] += mix64(k ^ 0x9e3779b97f4a7c15)
+	}
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // Timers returns the accumulated stage timers including the live solver.

@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"proteus/internal/chns"
+	"proteus/internal/mesh"
 	"proteus/internal/par"
+	"proteus/internal/sfc"
 )
 
 func swirlVel(x, y, z, t float64) (float64, float64, float64) {
@@ -167,6 +169,106 @@ func TestFullNSBlockWithRemesh(t *testing.T) {
 		tm := sim.Timers()
 		if tm.CH.Total == 0 || tm.NS.Total == 0 || tm.PP.Total == 0 || tm.VU.Total == 0 {
 			panic("stage timers not recorded")
+		}
+	})
+}
+
+// TestAdaptPartitionOnlyMigratesExactly: an adaptation round whose global
+// forest is unchanged (only the SFC partition moved) must take the exact
+// migration path — no point-location interpolation — and hand every rank
+// count the settled reference fields bitwise.
+func TestAdaptPartitionOnlyMigratesExactly(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		par.Run(p, func(c *par.Comm) {
+			cfg := smallSwirlConfig(false)
+			cfg.RemeshEvery = 1 << 30
+			sim := New(c, cfg, dropPhi(0.04))
+			// Let the forest settle to a detection-consistent state.
+			settled := false
+			for i := 0; i < 6 && !settled; i++ {
+				before := sim.RemeshCount
+				sim.Adapt()
+				settled = sim.RemeshCount == before
+			}
+			if !settled {
+				panic("forest did not settle under repeated adaptation")
+			}
+			m, sol := sim.Mesh, sim.Solver
+			// Global key -> (phi, mu, vx, vy, p) reference table (identical
+			// on every rank count because the settled serial state is the
+			// same field sampled at the same keys).
+			type kv struct {
+				K mesh.NodeKey
+				V [5]float64
+			}
+			local := make([]kv, m.NumOwned)
+			for i := 0; i < m.NumOwned; i++ {
+				local[i] = kv{m.Keys[i], [5]float64{
+					sol.PhiMu[2*i], sol.PhiMu[2*i+1], sol.Vel[2*i], sol.Vel[2*i+1], sol.P[i]}}
+			}
+			all := par.Allgatherv(c, local)
+			vals := make(map[mesh.NodeKey][5]float64, len(all))
+			for _, e := range all {
+				vals[e.K] = e.V
+			}
+			leaves := par.Allgatherv(c, m.Elems)
+			// Rebuild the same state on a deliberately skewed partition of
+			// the identical forest.
+			n := len(leaves)
+			lo, hi := n*c.Rank()*c.Rank()/(p*p), n*(c.Rank()+1)*(c.Rank()+1)/(p*p)
+			skew := make([]sfc.Octant, hi-lo)
+			copy(skew, leaves[lo:hi])
+			m2 := mesh.New(c, cfg.Dim, skew)
+			sol2 := chns.NewSolver(m2, sim.Cfg.Params, sim.Cfg.Opt)
+			for i := 0; i < m2.NumLocal; i++ {
+				v := vals[m2.Keys[i]]
+				sol2.PhiMu[2*i], sol2.PhiMu[2*i+1] = v[0], v[1]
+				sol2.Vel[2*i], sol2.Vel[2*i+1] = v[2], v[3]
+				sol2.P[i] = v[4]
+			}
+			sim2 := &Simulation{Comm: c, Cfg: sim.Cfg, Mesh: m2, Solver: sol2}
+			sim2.Adapt()
+			if p > 1 {
+				if sim2.T.RemeshStages.PartitionOnly != 1 || sim2.RemeshCount != 1 {
+					panic(fmt.Sprintf("p=%d: expected one partition-only round, got %+v (remeshes %d)",
+						p, sim2.T.RemeshStages, sim2.RemeshCount))
+				}
+			}
+			m3, sol3 := sim2.Mesh, sim2.Solver
+			for i := 0; i < m3.NumLocal; i++ {
+				v, ok := vals[m3.Keys[i]]
+				if !ok {
+					panic(fmt.Sprintf("p=%d: node %v appeared from nowhere", p, m3.Keys[i]))
+				}
+				if sol3.PhiMu[2*i] != v[0] || sol3.PhiMu[2*i+1] != v[1] ||
+					sol3.Vel[2*i] != v[2] || sol3.Vel[2*i+1] != v[3] || sol3.P[i] != v[4] {
+					panic(fmt.Sprintf("p=%d: node %v not bitwise-preserved by partition-only round", p, m3.Keys[i]))
+				}
+			}
+		})
+	}
+}
+
+// TestSolverRebindPersistsAcrossRemesh: the solver object, its worker
+// pool and its per-stage KSP objects must survive adaptation rounds (the
+// remesh swaps the mesh under the solver, not the solver itself).
+func TestSolverRebindPersistsAcrossRemesh(t *testing.T) {
+	par.Run(2, func(c *par.Comm) {
+		cfg := smallSwirlConfig(false)
+		sim := New(c, cfg, dropPhi(0.04))
+		before := sim.Solver
+		sim.Run(4) // includes remeshes at steps 2 and 4
+		if sim.RemeshCount == 0 {
+			panic("expected at least one remesh")
+		}
+		if sim.Solver != before {
+			panic("remesh replaced the solver instead of rebinding it")
+		}
+		if sim.Solver.MeshEpoch() != sim.MeshEpoch {
+			panic("solver epoch out of sync after rebind")
+		}
+		if sim.Solver.M != sim.Mesh {
+			panic("solver not bound to the current mesh")
 		}
 	})
 }

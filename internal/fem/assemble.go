@@ -204,6 +204,21 @@ func (a *Assembler) InvalidatePlans() {
 	a.plans[0], a.plans[1] = nil, nil
 }
 
+// Rebind points the assembler at a new mesh generation, preserving
+// everything mesh-independent: the reference element, the per-worker
+// kernel scratch and the pool wiring. The cached plans are dropped (a
+// remeshed domain has a new sparsity) and the off-process buffer's
+// destination set is cleared, because the neighbour ranks of the new
+// partition differ.
+func (a *Assembler) Rebind(m *mesh.Mesh) {
+	if m.Dim != a.M.Dim {
+		panic("fem: Assembler.Rebind across dimensions")
+	}
+	a.M = m
+	a.InvalidatePlans()
+	a.off.clear()
+}
+
 // Plan returns the cached plan for a layout, or nil before the first
 // assembly (or after invalidation).
 func (a *Assembler) Plan(layout Layout) *AssemblyPlan { return a.plans[planIdx(layout)] }
@@ -559,6 +574,14 @@ func (b *offProcBuf) reset() {
 	for i := range b.bufs {
 		b.bufs[i] = b.bufs[i][:0]
 	}
+}
+
+// clear additionally drops the destination set itself (the neighbour
+// ranks change when the assembler is rebound to a remeshed domain).
+func (b *offProcBuf) clear() {
+	b.dests = b.dests[:0]
+	b.bufs = b.bufs[:0]
+	clear(b.pos)
 }
 
 func (b *offProcBuf) add(rank int, e offProc) {

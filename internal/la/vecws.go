@@ -92,6 +92,41 @@ func (ws *kspWS) matches(pool *par.Pool, full, n int, method Method, restart int
 	return method != GMRES || ws.restart == restart
 }
 
+// resize rebinds the workspace to a new operator shape in place, keeping
+// every backing array whose capacity still fits. This is the remesh path
+// of a persistent solver (chns.Solver.Rebind): vector lengths change but
+// the method does not, so the Krylov storage survives the epoch instead
+// of being reallocated — shrinking or same-size remeshes allocate
+// nothing. Reused vectors are zeroed so stale ghost-segment values from
+// the old mesh cannot leak into the first overlapped Apply.
+func (ws *kspWS) resize(pool *par.Pool, full, n int) {
+	ws.pool, ws.full, ws.n = pool, full, n
+	grow := func(v *[]float64, ln int) {
+		if cap(*v) >= ln {
+			*v = (*v)[:ln]
+			for i := range *v {
+				(*v)[i] = 0
+			}
+			return
+		}
+		*v = make([]float64, ln)
+	}
+	nc := blas.NumChunks(n)
+	grow(&ws.chA, nc)
+	grow(&ws.chB, nc)
+	for _, v := range []*[]float64{&ws.r, &ws.z, &ws.p, &ws.ap, &ws.v, &ws.s, &ws.t, &ws.ph, &ws.sh, &ws.w, &ws.zv} {
+		if *v != nil {
+			grow(v, full)
+		}
+	}
+	if ws.rhat != nil {
+		grow(&ws.rhat, n)
+	}
+	for i := range ws.V {
+		grow(&ws.V[i], full)
+	}
+}
+
 // dispatch runs the staged op over n entries, sharded across the pool
 // when the vector is long enough to pay for it. Inner products are
 // chunk-canonical (see blas.DotChunks), so the serial and sharded paths
@@ -131,11 +166,33 @@ func (ws *kspWS) runShard(w int) {
 }
 
 // ensureWS (re)builds the workspace if the operator shape, method,
-// restart length or pool changed since the last Solve.
+// restart length or pool changed since the last Solve. A pure shape
+// change (same method and restart, e.g. after a remesh rebound the
+// operator) resizes the existing workspace in place, preserving its
+// backing arrays.
 func (k *KSP) ensureWS() {
 	full, n := k.Op.FullLen(), k.Op.Rows()
-	if !k.ws.matches(k.Pool, full, n, k.Type, k.Restart) {
-		k.ws = newKspWS(k.Pool, full, n, k.Type, k.Restart)
+	if k.ws.matches(k.Pool, full, n, k.Type, k.Restart) {
+		return
+	}
+	methodOK := k.ws != nil && normalizeMethod(k.ws.method) == normalizeMethod(k.Type) &&
+		(k.ws.method != GMRES || k.ws.restart == k.Restart)
+	if methodOK {
+		k.ws.resize(k.Pool, full, n)
+		k.ws.method, k.ws.restart = k.Type, k.Restart
+		return
+	}
+	k.ws = newKspWS(k.Pool, full, n, k.Type, k.Restart)
+}
+
+// normalizeMethod folds the method aliases that share a workspace layout
+// ("" solves as IBiCGS; BiCGS and IBiCGS use identical vectors).
+func normalizeMethod(m Method) Method {
+	switch m {
+	case BiCGS, IBiCGS, "":
+		return BiCGS
+	default:
+		return m
 	}
 }
 

@@ -1,0 +1,179 @@
+// Partition-only migration: when an adaptation round leaves the global
+// forest unchanged and only moves the SFC partition (a pure load
+// rebalance), fields need no inter-grid interpolation at all — every node
+// and element value is copied bitwise from its old owner to its new
+// owner. This keeps results bitwise reproducible across rank counts and
+// skips the old-tree rebuild and point-location machinery entirely.
+package transfer
+
+import (
+	"fmt"
+
+	"proteus/internal/mesh"
+	"proteus/internal/octree"
+	"proteus/internal/par"
+	"proteus/internal/sfc"
+)
+
+// maxMigrateDofs bounds the combined per-node dof count of one
+// MigrateNodal call: keys and values travel together in one fixed-size
+// packet so the whole migration is a single NBX round.
+const maxMigrateDofs = 8
+
+// nodePacket carries one node's key and its packed field values.
+type nodePacket struct {
+	Key mesh.NodeKey
+	V   [maxMigrateDofs]float64
+}
+
+// MigrateNodal moves nodal fields from oldM to newM when both meshes are
+// built over the same global forest and only ownership moved: each rank
+// pushes every owned node's packed values to the node's new canonical
+// owner (computed from the new splitter table with the same clamping rule
+// the mesh builder uses) in one NBX round. No point location, no
+// interpolation — destination values are bitwise copies. Panics if the
+// meshes turn out not to share a forest (an owned destination node left
+// unfilled, or a pushed key unknown to its target), so a mistaken
+// partition-only detection fails loudly instead of corrupting fields.
+// Collective.
+func MigrateNodal(oldM, newM *mesh.Mesh, fields []Field) {
+	c := oldM.Comm
+	tot := 0
+	for _, f := range fields {
+		if len(f.Src) < oldM.NumLocal*f.Ndof || len(f.Dst) < newM.NumLocal*f.Ndof {
+			panic("transfer: MigrateNodal field vector length mismatch")
+		}
+		tot += f.Ndof
+	}
+	if tot > maxMigrateDofs {
+		panic(fmt.Sprintf("transfer: MigrateNodal moves %d dofs per node, max %d", tot, maxMigrateDofs))
+	}
+	spl := octree.GatherSplitters(c, newM.Elems)
+	me := c.Rank()
+	filled := 0
+	perRank := map[int][]nodePacket{}
+	for i := 0; i < oldM.NumOwned; i++ {
+		k := oldM.Keys[i]
+		r := ownerOfKey(spl, oldM.Dim, k)
+		if r == me {
+			j, ok := newM.NodeIndex(k)
+			if !ok || j >= newM.NumOwned {
+				panic(fmt.Sprintf("transfer: node %v not owned on its migration target rank %d", k, me))
+			}
+			for _, f := range fields {
+				copy(f.Dst[j*f.Ndof:(j+1)*f.Ndof], f.Src[i*f.Ndof:(i+1)*f.Ndof])
+			}
+			filled++
+			continue
+		}
+		var p nodePacket
+		p.Key = k
+		off := 0
+		for _, f := range fields {
+			copy(p.V[off:off+f.Ndof], f.Src[i*f.Ndof:(i+1)*f.Ndof])
+			off += f.Ndof
+		}
+		perRank[r] = append(perRank[r], p)
+	}
+	if c.Size() > 1 {
+		dests := make([]int, 0, len(perRank))
+		bufs := make([][]nodePacket, 0, len(perRank))
+		for r, lst := range perRank {
+			dests = append(dests, r)
+			bufs = append(bufs, lst)
+		}
+		_, recvd := par.NBXExchange(c, dests, bufs)
+		for _, batch := range recvd {
+			for _, p := range batch {
+				j, ok := newM.NodeIndex(p.Key)
+				if !ok || j >= newM.NumOwned {
+					panic(fmt.Sprintf("transfer: migrated node %v not owned on rank %d", p.Key, me))
+				}
+				off := 0
+				for _, f := range fields {
+					copy(f.Dst[j*f.Ndof:(j+1)*f.Ndof], p.V[off:off+f.Ndof])
+					off += f.Ndof
+				}
+				filled++
+			}
+		}
+	} else if len(perRank) > 0 {
+		panic("transfer: MigrateNodal routed nodes off a single rank")
+	}
+	if filled != newM.NumOwned {
+		panic(fmt.Sprintf("transfer: partition-only migration filled %d of %d owned nodes — meshes do not share a forest", filled, newM.NumOwned))
+	}
+	for _, f := range fields {
+		newM.GhostRead(f.Dst, f.Ndof)
+	}
+}
+
+// elemPacket carries one element's octant key and value; the key is
+// verified on the receiver against its local leaf list.
+type elemPacket struct {
+	Oct sfc.Octant
+	V   float64
+}
+
+// MigrateElem moves per-element values across a pure repartition of the
+// same global forest: each rank ships its contiguous SFC ranges to their
+// new owners and the receiver reassembles the batches in source-rank
+// order, which for an identical forest is global SFC order. The octant
+// keys travel with the values and are checked element-by-element against
+// the new local leaves, so a mistaken partition-only detection panics
+// instead of silently misaligning values. Collective.
+func MigrateElem(c *par.Comm, oldElems []sfc.Octant, oldVals []float64, newElems []sfc.Octant) []float64 {
+	spl := octree.GatherSplitters(c, newElems)
+	me := c.Rank()
+	perRank := map[int][]elemPacket{}
+	var own []elemPacket
+	for i, o := range oldElems {
+		r := spl.Owner(o.FirstDescendant())
+		if r == me {
+			own = append(own, elemPacket{o, oldVals[i]})
+			continue
+		}
+		perRank[r] = append(perRank[r], elemPacket{o, oldVals[i]})
+	}
+	type sourced struct {
+		src   int
+		batch []elemPacket
+	}
+	batches := []sourced{{me, own}}
+	if c.Size() > 1 {
+		dests := make([]int, 0, len(perRank))
+		bufs := make([][]elemPacket, 0, len(perRank))
+		for r, lst := range perRank {
+			dests = append(dests, r)
+			bufs = append(bufs, lst)
+		}
+		srcs, recvd := par.NBXExchange(c, dests, bufs)
+		for i := range srcs {
+			batches = append(batches, sourced{srcs[i], recvd[i]})
+		}
+	} else if len(perRank) > 0 {
+		panic("transfer: MigrateElem routed elements off a single rank")
+	}
+	// Lower source ranks hold strictly earlier SFC ranges of the shared
+	// forest, so source-rank order reassembles the local leaf sequence.
+	for i := 1; i < len(batches); i++ {
+		for j := i; j > 0 && batches[j].src < batches[j-1].src; j-- {
+			batches[j], batches[j-1] = batches[j-1], batches[j]
+		}
+	}
+	out := make([]float64, len(newElems))
+	pos := 0
+	for _, b := range batches {
+		for _, p := range b.batch {
+			if pos >= len(newElems) || !p.Oct.EqualKey(newElems[pos]) {
+				panic(fmt.Sprintf("transfer: partition-only element migration misaligned at %d (%v) — meshes do not share a forest", pos, p.Oct))
+			}
+			out[pos] = p.V
+			pos++
+		}
+	}
+	if pos != len(newElems) {
+		panic(fmt.Sprintf("transfer: partition-only element migration filled %d of %d elements", pos, len(newElems)))
+	}
+	return out
+}

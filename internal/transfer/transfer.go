@@ -11,7 +11,10 @@
 // whole transfer. Distributed operation follows the paper's four steps:
 // locate the owner of each query point in the old grid's splitter table,
 // ship the detached node keys, evaluate locally, and return the values to
-// the requesting rank (NBX sparse exchanges both ways).
+// the requesting rank (NBX sparse exchanges both ways). Batch moves every
+// field of a remesh through one such round; MigrateNodal/MigrateElem
+// (migrate.go) handle the partition-only case exactly, with no
+// interpolation at all.
 package transfer
 
 import (
@@ -23,121 +26,204 @@ import (
 	"proteus/internal/sfc"
 )
 
+// Field names one nodal field in a batched transfer: Src lives on the old
+// mesh, Dst on the new mesh (full local layout, NumLocal*Ndof entries
+// each).
+type Field struct {
+	Src, Dst []float64
+	Ndof     int
+}
+
+// Workspace holds the reusable buffers of Batch so steady remeshing stops
+// allocating per-field query maps and scratch. A zero Workspace is ready
+// to use; keep one per simulation and pass it to every Batch call. Send
+// buffers are safely reused across calls: every peer has consumed the
+// previous call's payloads before it can enter the next call's exchange.
+type Workspace struct {
+	pos    map[int]int
+	dests  []int
+	keys   [][]mesh.NodeKey
+	idxs   [][]int32
+	rdests []int
+	rbufs  [][]float64
+	buf    []float64 // corner gather scratch (cpe * max ndof)
+}
+
+func (ws *Workspace) reset(bufLen int) {
+	if ws.pos == nil {
+		ws.pos = map[int]int{}
+	}
+	clear(ws.pos)
+	ws.dests = ws.dests[:0]
+	if cap(ws.buf) < bufLen {
+		ws.buf = make([]float64, bufLen)
+	}
+	ws.buf = ws.buf[:bufLen]
+}
+
+// addQuery appends node i's key to the query batch for rank r.
+func (ws *Workspace) addQuery(r int, k mesh.NodeKey, i int) {
+	s, ok := ws.pos[r]
+	if !ok {
+		s = len(ws.dests)
+		ws.pos[r] = s
+		ws.dests = append(ws.dests, r)
+		if len(ws.keys) <= s {
+			ws.keys = append(ws.keys, nil)
+			ws.idxs = append(ws.idxs, nil)
+		}
+		ws.keys[s] = ws.keys[s][:0]
+		ws.idxs[s] = ws.idxs[s][:0]
+	}
+	ws.keys[s] = append(ws.keys[s], k)
+	ws.idxs[s] = append(ws.idxs[s], int32(i))
+}
+
 // Nodal transfers a nodal field (ndof unknowns per node) from oldM to
 // newM, which must cover the same domain. Returns a full local vector on
-// newM. Collective.
+// newM. Collective. Prefer Batch when several fields move across the same
+// remesh: it shares the splitter gather, the point-location pass and the
+// NBX round across all of them.
 func Nodal(oldM *mesh.Mesh, oldVec []float64, newM *mesh.Mesh, ndof int) []float64 {
-	c := oldM.Comm
-	oldM.GhostRead(oldVec, ndof)
-	oldTree := &octree.Tree{Dim: oldM.Dim, Leaves: oldM.Elems}
-	spl := octree.GatherSplitters(c, oldM.Elems)
 	out := newM.NewVec(ndof)
-
-	eval := newEvaluator(oldM, oldTree, oldVec, ndof)
-
-	// Partition owned new nodes into locally evaluable and remote queries.
-	type query struct {
-		Key mesh.NodeKey
-	}
-	perRank := map[int][]query{}
-	perRankIdx := map[int][]int{}
-	for i := 0; i < newM.NumOwned; i++ {
-		k := newM.Keys[i]
-		if eval.tryLocal(k, out[i*ndof:(i+1)*ndof]) {
-			continue
-		}
-		r := ownerOfKey(spl, oldM.Dim, k)
-		perRank[r] = append(perRank[r], query{k})
-		perRankIdx[r] = append(perRankIdx[r], i)
-	}
-	if c.Size() > 1 {
-		dests := make([]int, 0, len(perRank))
-		bufs := make([][]query, 0, len(perRank))
-		for r, qs := range perRank {
-			dests = append(dests, r)
-			bufs = append(bufs, qs)
-		}
-		srcs, recvd := par.NBXExchange(c, dests, bufs)
-		// Evaluate remote queries and reply.
-		rdests := make([]int, 0, len(srcs))
-		rbufs := make([][]float64, 0, len(srcs))
-		for i, batch := range recvd {
-			vals := make([]float64, len(batch)*ndof)
-			for q, qu := range batch {
-				if !eval.tryLocal(qu.Key, vals[q*ndof:(q+1)*ndof]) {
-					panic(fmt.Sprintf("transfer: rank %d cannot evaluate %v for rank %d", c.Rank(), qu.Key, srcs[i]))
-				}
-			}
-			rdests = append(rdests, srcs[i])
-			rbufs = append(rbufs, vals)
-		}
-		rsrcs, replies := par.NBXExchange(c, rdests, rbufs)
-		for i, src := range rsrcs {
-			idxs := perRankIdx[src]
-			vals := replies[i]
-			if len(vals) != len(idxs)*ndof {
-				panic("transfer: reply length mismatch")
-			}
-			for q, li := range idxs {
-				copy(out[li*ndof:(li+1)*ndof], vals[q*ndof:(q+1)*ndof])
-			}
-		}
-	} else if len(perRank) > 0 {
-		panic("transfer: unevaluable node on single rank")
-	}
-	newM.GhostRead(out, ndof)
+	Batch(oldM, newM, []Field{{Src: oldVec, Dst: out, Ndof: ndof}}, nil)
 	return out
 }
 
-// evaluator evaluates the old field at arbitrary grid points.
-type evaluator struct {
-	m    *mesh.Mesh
-	tree *octree.Tree
-	vec  []float64
-	ndof int
-	buf  []float64
-}
-
-func newEvaluator(m *mesh.Mesh, tree *octree.Tree, vec []float64, ndof int) *evaluator {
-	return &evaluator{m: m, tree: tree, vec: vec, ndof: ndof,
-		buf: make([]float64, m.CornersPerElem()*ndof)}
-}
-
-// tryLocal evaluates the field at grid point k into dst if a local old
-// element contains it (with boundary clamping).
-func (ev *evaluator) tryLocal(k mesh.NodeKey, dst []float64) bool {
-	x, y, z := clampKey(ev.m.Dim, k)
-	e := ev.tree.PointLocate(x, y, z)
-	if e < 0 {
-		return false
+// Batch transfers every field from oldM to newM in one pass: one splitter
+// gather, one point location per new owned node (all fields evaluated at
+// the located point), and one NBX query/reply round carrying all fields'
+// dofs packed together. ws may be nil (a transient workspace is used).
+// Collective.
+//
+// A query point whose old-grid owner is this rank but which no local old
+// element contains is a partition/forest inconsistency: Batch fails
+// loudly with the offending key instead of shipping the query through a
+// self-exchange.
+func Batch(oldM *mesh.Mesh, newM *mesh.Mesh, fields []Field, ws *Workspace) {
+	c := oldM.Comm
+	if ws == nil {
+		ws = &Workspace{}
 	}
-	ev.m.GatherElem(e, ev.vec, ev.ndof, ev.buf)
-	o := ev.m.Elems[e]
-	s := float64(o.Side())
-	// Unit-cell coordinates of the query point.
+	tot, maxN := 0, 0
+	for _, f := range fields {
+		if len(f.Src) < oldM.NumLocal*f.Ndof || len(f.Dst) < newM.NumLocal*f.Ndof {
+			panic("transfer: Batch field vector length mismatch")
+		}
+		tot += f.Ndof
+		if f.Ndof > maxN {
+			maxN = f.Ndof
+		}
+	}
+	for _, f := range fields {
+		oldM.GhostRead(f.Src, f.Ndof)
+	}
+	oldTree := &octree.Tree{Dim: oldM.Dim, Leaves: oldM.Elems}
+	spl := octree.GatherSplitters(c, oldM.Elems)
+	ws.reset(oldM.CornersPerElem() * maxN)
+	me := c.Rank()
+
+	// One point-location pass over the owned new nodes; remote queries are
+	// batched per old-grid owner.
+	for i := 0; i < newM.NumOwned; i++ {
+		k := newM.Keys[i]
+		if e, xi, ok := locate(oldM, oldTree, k); ok {
+			for _, f := range fields {
+				evalInto(oldM, e, xi, f.Src, f.Ndof, f.Dst[i*f.Ndof:(i+1)*f.Ndof], ws.buf)
+			}
+			continue
+		}
+		r := ownerOfKey(spl, oldM.Dim, k)
+		if r == me {
+			panic(fmt.Sprintf("transfer: rank %d owns the old-grid region of node %v but no local element contains it", me, k))
+		}
+		ws.addQuery(r, k, i)
+	}
+	if c.Size() > 1 {
+		srcs, recvd := par.NBXExchange(c, ws.dests, ws.keys[:len(ws.dests)])
+		// Evaluate remote queries — all fields per located point — and
+		// reply with the packed values.
+		ws.rdests = ws.rdests[:0]
+		ws.rbufs = ws.rbufs[:0]
+		for bi, batch := range recvd {
+			vals := make([]float64, len(batch)*tot)
+			for qi, k := range batch {
+				e, xi, ok := locate(oldM, oldTree, k)
+				if !ok {
+					panic(fmt.Sprintf("transfer: rank %d cannot evaluate %v for rank %d", me, k, srcs[bi]))
+				}
+				off := qi * tot
+				for _, f := range fields {
+					evalInto(oldM, e, xi, f.Src, f.Ndof, vals[off:off+f.Ndof], ws.buf)
+					off += f.Ndof
+				}
+			}
+			ws.rdests = append(ws.rdests, srcs[bi])
+			ws.rbufs = append(ws.rbufs, vals)
+		}
+		rsrcs, replies := par.NBXExchange(c, ws.rdests, ws.rbufs)
+		for bi, src := range rsrcs {
+			idxs := ws.idxs[ws.pos[src]]
+			vals := replies[bi]
+			if len(vals) != len(idxs)*tot {
+				panic("transfer: reply length mismatch")
+			}
+			for qi, li := range idxs {
+				off := qi * tot
+				for _, f := range fields {
+					copy(f.Dst[int(li)*f.Ndof:(int(li)+1)*f.Ndof], vals[off:off+f.Ndof])
+					off += f.Ndof
+				}
+			}
+		}
+	} else if len(ws.dests) > 0 {
+		panic(fmt.Sprintf("transfer: unevaluable node %v on single rank", ws.keys[0][0]))
+	}
+	for _, f := range fields {
+		newM.GhostRead(f.Dst, f.Ndof)
+	}
+}
+
+// locate finds the local old element containing grid point k (with
+// boundary clamping) and k's unit-cell coordinates within it.
+func locate(m *mesh.Mesh, tree *octree.Tree, k mesh.NodeKey) (int, [3]float64, bool) {
 	var xi [3]float64
+	x, y, z := clampKey(m.Dim, k)
+	e := tree.PointLocate(x, y, z)
+	if e < 0 {
+		return -1, xi, false
+	}
+	o := m.Elems[e]
+	s := float64(o.Side())
 	xi[0] = (float64(k.X) - float64(o.X)) / s
 	xi[1] = (float64(k.Y) - float64(o.Y)) / s
-	if ev.m.Dim == 3 {
+	if m.Dim == 3 {
 		xi[2] = (float64(k.Z) - float64(o.Z)) / s
 	}
-	npe := ev.m.CornersPerElem()
-	for d := 0; d < ev.ndof; d++ {
+	return e, xi, true
+}
+
+// evalInto evaluates the ndof-dof field src at unit-cell point xi of
+// element e (multilinear interpolation from the element corners) into dst.
+// buf must hold CornersPerElem*ndof entries.
+func evalInto(m *mesh.Mesh, e int, xi [3]float64, src []float64, ndof int, dst, buf []float64) {
+	npe := m.CornersPerElem()
+	m.GatherElem(e, src, ndof, buf[:npe*ndof])
+	for d := 0; d < ndof; d++ {
 		var v float64
 		for a := 0; a < npe; a++ {
 			w := 1.0
-			for dim := 0; dim < ev.m.Dim; dim++ {
+			for dim := 0; dim < m.Dim; dim++ {
 				if (a>>dim)&1 == 1 {
 					w *= xi[dim]
 				} else {
 					w *= 1 - xi[dim]
 				}
 			}
-			v += w * ev.buf[a*ev.ndof+d]
+			v += w * buf[a*ndof+d]
 		}
 		dst[d] = v
 	}
-	return true
 }
 
 func clampKey(dim int, k mesh.NodeKey) (x, y, z uint32) {
