@@ -1,134 +1,149 @@
-// Command proteus is the simulation driver: it runs one of the built-in
-// cases (rising bubble, swirling-flow validation, jet atomization) on a
-// chosen number of in-process ranks, optionally writing ParaView output,
-// and can print the Table II solver configuration.
+// Command proteus is the simulation driver: a thin CLI over the scenario
+// registry and the core run loop. It runs any registered case at a size
+// preset on a chosen number of in-process ranks, with periodic VTK
+// output, periodic checkpointing, restart from a checkpoint (at any rank
+// count), machine-readable run stats, and the Table II configuration
+// printout.
 //
-//	go run ./cmd/proteus -case bubble -steps 10 -ranks 4 -out out/bubble
+//	go run ./cmd/proteus -list
+//	go run ./cmd/proteus -case bubble -preset bench -steps 10 -ranks 4 -out out/bubble
+//	go run ./cmd/proteus -case jet -preset smoke -steps 4 -ckpt out/ck/jet -ckpt-every 2
+//	go run ./cmd/proteus -restart out/ck/jet -steps 4 -ranks 2
 //	go run ./cmd/proteus -table2
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
+	"time"
 
-	"proteus/internal/chns"
+	"proteus/internal/ckpt"
 	"proteus/internal/core"
 	"proteus/internal/par"
-	"proteus/internal/vtk"
+	"proteus/internal/scenario"
 )
 
 func main() {
-	caseName := flag.String("case", "bubble", "bubble | swirl | jet")
+	caseName := flag.String("case", "bubble", "registered scenario (see -list)")
+	preset := flag.String("preset", "bench", "size preset: smoke | bench | full")
 	ranks := flag.Int("ranks", 4, "in-process ranks")
-	steps := flag.Int("steps", 8, "time steps")
+	steps := flag.Int("steps", 8, "time steps to advance in this run")
+	wall := flag.Duration("wall", 0, "wall-clock budget (0 = none)")
 	out := flag.String("out", "", "VTK output base path (empty disables)")
+	vtkEvery := flag.Int("vtk-every", 0, "write VTK every n steps (0: only once at the end when -out is set)")
+	ckptBase := flag.String("ckpt", "", "checkpoint base path (empty disables)")
+	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint every n steps (0: only once at the end when -ckpt is set)")
+	restart := flag.String("restart", "", "restart from this checkpoint base (scenario and preset come from its meta)")
+	statsJSON := flag.String("stats-json", "", "dump machine-readable run stats (timers, elem counts, remesh counts) to this path")
 	table2 := flag.Bool("table2", false, "print the Table II solver configuration and exit")
-	localCahn := flag.Bool("localcahn", true, "enable local-Cahn detection where applicable")
+	localCahn := flag.Bool("localcahn", true, "enable local-Cahn detection where the scenario uses it")
+	list := flag.Bool("list", false, "list registered scenarios and exit")
 	flag.Parse()
 
 	if *table2 {
 		printTable2()
 		return
 	}
+	if *list {
+		for _, n := range scenario.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
 
-	cfg, phi0 := buildCase(*caseName, *localCahn)
+	name, pr := *caseName, scenario.Preset(*preset)
+	var meta ckpt.Meta
+	if *restart != "" {
+		var err error
+		if meta, err = ckpt.ReadMeta(*restart); err != nil {
+			fatal(err)
+		}
+		name = meta.Scenario
+		if name == "" {
+			fatal(fmt.Errorf("checkpoint %s does not name a scenario; cannot rebuild its config", *restart))
+		}
+		if pr, err = scenario.ParsePreset(meta.Preset); err != nil {
+			fatal(fmt.Errorf("checkpoint %s: %v", *restart, err))
+		}
+	} else if _, err := scenario.ParsePreset(*preset); err != nil {
+		fatal(err)
+	}
+	sc, ok := scenario.Get(name)
+	if !ok {
+		fatal(fmt.Errorf("unknown scenario %q (registered: %v)", name, scenario.Names()))
+	}
+	spec := sc.Build(pr)
+	if *restart != "" {
+		// Reproduce the writing run's effective detection setting, not
+		// the registry default — a -localcahn override must survive the
+		// restart or the resumed trajectory silently changes physics.
+		spec.Config.LocalCahn = meta.LocalCahn
+	}
+	if !*localCahn {
+		spec.Config.LocalCahn = false
+	}
+
 	par.Run(*ranks, func(c *par.Comm) {
-		sim := core.New(c, cfg, phi0)
-		desc := sim.Describe()
-		if c.Rank() == 0 {
-			fmt.Println("initial:", desc)
-		}
-		for i := 0; i < *steps; i++ {
-			sim.Step()
-			desc = sim.Describe()
-			if c.Rank() == 0 {
-				fmt.Println(desc)
-			}
-		}
-		tm := sim.Timers()
-		if c.Rank() == 0 {
-			fmt.Printf("stage totals: CH=%v NS=%v PP=%v VU=%v remesh=%v (remeshes=%d)\n",
-				tm.CH.Total, tm.NS.Total, tm.PP.Total, tm.VU.Total, tm.Remesh.Total, sim.RemeshCount)
-		}
-		if *out != "" {
-			m := sim.Mesh
-			phi := m.NewVec(1)
-			for i := 0; i < m.NumLocal; i++ {
-				phi[i] = sim.Solver.PhiMu[2*i]
-			}
-			if err := vtk.Write(m, *out, []vtk.Field{
-				{Name: "phi", Ndof: 1, Data: phi},
-				{Name: "velocity", Ndof: m.Dim, Data: sim.Solver.Vel},
-				{Name: "pressure", Ndof: 1, Data: sim.Solver.P},
-				{Name: "cahn", Ndof: 1, Data: sim.Solver.ElemCn, Elemental: true},
-			}); err != nil {
+		var sim *core.Simulation
+		if *restart != "" {
+			var err error
+			sim, err = core.Restore(c, spec.Config, *restart)
+			if err != nil {
 				panic(err)
 			}
-			if c.Rank() == 0 {
+		} else {
+			sim = sc.NewFromSpec(c, pr, spec)
+		}
+		desc := sim.Describe()
+		if c.Rank() == 0 {
+			fmt.Printf("%s/%s initial: %s\n", name, pr, desc)
+		}
+		res, err := sim.RunUntil(core.RunOptions{
+			Steps:     *steps,
+			MaxWall:   *wall,
+			CkptEvery: *ckptEvery,
+			CkptBase:  *ckptBase,
+			FinalCkpt: *ckptBase != "",
+			VTKEvery:  *vtkEvery,
+			VTKBase:   *out,
+			FinalVTK:  *out != "",
+			OnStep: func(s *core.Simulation) {
+				d := s.Describe()
+				if c.Rank() == 0 {
+					fmt.Println(d)
+				}
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+		st := sim.Stats()
+		if c.Rank() == 0 {
+			tm := st.Timers
+			fmt.Printf("ran %d steps (%s) in %v; stage totals: CH=%v NS=%v PP=%v VU=%v remesh=%v (remeshes=%d, partition-only=%d)\n",
+				res.StepsDone, res.Stopped, res.Wall.Round(time.Millisecond),
+				tm.CH.Total, tm.NS.Total, tm.PP.Total, tm.VU.Total, tm.Remesh.Total,
+				st.RemeshCount, st.PartitionOnlyRounds)
+			if *out != "" {
 				fmt.Printf("wrote %s.pvtu\n", *out)
+			}
+			if *ckptBase != "" {
+				fmt.Printf("checkpoint at %s (step %d)\n", *ckptBase, st.Step)
+			}
+			if *statsJSON != "" {
+				if err := core.WriteStatsJSON(*statsJSON, st); err != nil {
+					panic(err)
+				}
+				fmt.Printf("wrote %s\n", *statsJSON)
 			}
 		}
 	})
 }
 
-func buildCase(name string, localCahn bool) (core.Config, func(x, y, z float64) float64) {
-	switch name {
-	case "bubble":
-		p := chns.DefaultParams()
-		p.Cn = 0.05
-		p.Fr = 0.3
-		p.RhoMinus = 0.1
-		p.We = 50
-		cfg := core.Config{
-			Dim: 2, Params: p, Opt: chns.DefaultOptions(1e-3),
-			BulkLevel: 3, InterfaceLevel: 6, RemeshEvery: 2,
-		}
-		return cfg, func(x, y, z float64) float64 {
-			return chns.EquilibriumProfile(math.Hypot(x-0.5, y-0.3)-0.15, p.Cn)
-		}
-	case "swirl":
-		p := chns.DefaultParams()
-		p.Cn = 0.02
-		p.Pe = 1000
-		cfg := core.Config{
-			Dim: 2, Params: p, Opt: chns.DefaultOptions(2.5e-3),
-			BulkLevel: 3, InterfaceLevel: 5, FineLevel: 6,
-			LocalCahn: localCahn, FineCn: 0.008, Delta: -0.5,
-			RemeshEvery: 4,
-			PrescribedVel: func(x, y, z, t float64) (float64, float64, float64) {
-				sx := math.Sin(math.Pi * x)
-				sy := math.Sin(math.Pi * y)
-				return 2 * sx * sx * sy * math.Cos(math.Pi*y), -2 * sx * math.Cos(math.Pi*x) * sy * sy, 0
-			},
-		}
-		return cfg, func(x, y, z float64) float64 {
-			return chns.EquilibriumProfile(math.Hypot(x-0.5, y-0.75)-0.15, p.Cn)
-		}
-	case "jet":
-		p := chns.DefaultParams()
-		p.Cn = 0.05
-		p.Re = 200
-		p.We = 20
-		p.Pe = 500
-		p.RhoMinus = 0.05
-		p.EtaMinus = 0.05
-		cfg := core.Config{
-			Dim: 3, Params: p, Opt: chns.DefaultOptions(1e-3),
-			BulkLevel: 2, InterfaceLevel: 4, FineLevel: 5,
-			LocalCahn: localCahn, FineCn: 0.02, Delta: -0.5,
-			RemeshEvery: 2,
-		}
-		return cfg, func(x, y, z float64) float64 {
-			r := math.Hypot(y-0.5, z-0.5)
-			return chns.EquilibriumProfile(r-(0.10+0.035*math.Cos(4*math.Pi*x)), p.Cn)
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown case %q (want bubble|swirl|jet)\n", name)
-		os.Exit(2)
-		return core.Config{}, nil
-	}
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "proteus:", err)
+	os.Exit(2)
 }
 
 func printTable2() {

@@ -24,6 +24,7 @@ func main() {
 	fig6 := flag.Bool("fig6", false, "run the MATVEC scaling sweeps")
 	fig7 := flag.Bool("fig7", false, "run the application scaling sweep")
 	maxRanks := flag.Int("maxranks", 8, "largest rank count (swept in powers of two)")
+	statsJSON := flag.String("stats-json", "", "dump the fig7 per-rank-count stats (timers incl. remesh sub-timers, elem counts, remesh counts) to this path")
 	flag.Parse()
 	if !*fig6 && !*fig7 {
 		*fig6, *fig7 = true, true
@@ -36,7 +37,13 @@ func main() {
 		runFig6(ranks)
 	}
 	if *fig7 {
-		runFig7(ranks)
+		stats := runFig7(ranks)
+		if *statsJSON != "" {
+			if err := core.WriteStatsJSON(*statsJSON, stats); err != nil {
+				panic(err)
+			}
+			fmt.Printf("wrote %s\n", *statsJSON)
+		}
 	}
 }
 
@@ -138,10 +145,11 @@ func runFig6(ranks []int) {
 	}
 }
 
-func runFig7(ranks []int) {
+func runFig7(ranks []int) []core.RunStats {
 	fmt.Println("\nFig. 7 — application scaling (2 steps, rising bubble, remesh every 2):")
 	fmt.Printf("  %-6s %-10s %-10s %-10s %-10s %-10s | %s\n",
 		"ranks", "CH", "NS", "PP", "VU", "remesh", "percentages")
+	var stats []core.RunStats
 	for _, p := range ranks {
 		var t chns.Timers
 		par.Run(p, func(c *par.Comm) {
@@ -157,8 +165,11 @@ func runFig7(ranks []int) {
 				return chns.EquilibriumProfile(math.Hypot(x-0.5, y-0.4)-0.2, prm.Cn)
 			})
 			sim.Run(2)
+			st := sim.Stats()
 			if c.Rank() == 0 {
-				t = sim.Timers()
+				t = st.Timers
+				st.Scenario, st.Preset = "bubble", "fig7"
+				stats = append(stats, st)
 			}
 		})
 		tot := t.CH.Total + t.NS.Total + t.PP.Total + t.VU.Total + t.Remesh.Total
@@ -175,4 +186,5 @@ func runFig7(ranks []int) {
 			t.Remesh.Total.Round(time.Millisecond),
 			pct(t.CH.Total), pct(t.NS.Total), pct(t.PP.Total), pct(t.VU.Total), pct(t.Remesh.Total))
 	}
+	return stats
 }

@@ -1,9 +1,10 @@
-// Jet atomization (Sec. V of the paper, scaled to laptop size): a 3D
-// liquid ligament with an axial velocity perturbation breaks into
-// droplets; the erosion/dilation detector finds the thinning neck and
-// shed droplets and the remesher refines them several levels in one pass.
-// The paper runs this at octree level 15 (35 trillion uniform-grid
-// points) on Frontera; here levels 3-6 exercise the identical code path.
+// Jet atomization (Sec. V of the paper, scaled to laptop size): the
+// registered "jet" scenario — a 3D liquid ligament with an axial velocity
+// perturbation breaks into droplets; the erosion/dilation detector finds
+// the thinning neck and shed droplets and the remesher refines them
+// several levels in one pass. The paper runs this at octree level 15 (35
+// trillion uniform-grid points) on Frontera; the bench preset exercises
+// the identical code path at levels 2-5.
 //
 //	go run ./examples/jetatomization -steps 6
 package main
@@ -11,12 +12,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math"
 
-	"proteus/internal/chns"
 	"proteus/internal/core"
 	"proteus/internal/par"
-	"proteus/internal/vtk"
+	"proteus/internal/scenario"
 )
 
 func main() {
@@ -25,51 +24,25 @@ func main() {
 	out := flag.String("out", "out/jet", "VTK output base (empty to disable)")
 	flag.Parse()
 
-	p := chns.DefaultParams()
-	p.Cn = 0.05
-	p.Re = 200
-	p.We = 20
-	p.Pe = 500
-	p.RhoMinus = 0.05 // dense liquid jet in light gas
-	p.EtaMinus = 0.05
-
-	cfg := core.Config{
-		Dim: 3, Params: p, Opt: chns.DefaultOptions(1e-3),
-		BulkLevel: 2, InterfaceLevel: 4, FineLevel: 5,
-		LocalCahn: true, FineCn: 0.02,
-		Delta:       -0.5,
-		RemeshEvery: 2,
-	}
-
-	// Liquid core: a cylinder along x with a varicose radius perturbation
-	// (the classic Rayleigh-Plateau seed), φ=-1 inside the liquid.
-	radius := func(x float64) float64 {
-		return 0.10 + 0.035*math.Cos(4*math.Pi*x)
-	}
-	phi0 := func(x, y, z float64) float64 {
-		r := math.Hypot(y-0.5, z-0.5)
-		return chns.EquilibriumProfile(r-radius(x), p.Cn)
-	}
-
+	sc, _ := scenario.Get("jet")
 	par.Run(*ranks, func(c *par.Comm) {
-		sim := core.New(c, cfg, phi0)
-		// Axial shear: the core moves in +x.
-		sim.Solver.SetVelocity(func(x, y, z float64) (float64, float64, float64) {
-			r := math.Hypot(y-0.5, z-0.5)
-			ax := math.Exp(-r * r / 0.02)
-			return 0.5 * ax, 0, 0
-		})
+		sim := sc.New(c, scenario.Bench)
 		// Describe is collective: every rank must call it.
 		desc := sim.Describe()
 		if c.Rank() == 0 {
 			fmt.Println("initial:", desc)
 		}
-		for i := 0; i < *steps; i++ {
-			sim.Step()
-			desc = sim.Describe()
-			if c.Rank() == 0 {
-				fmt.Println(desc)
-			}
+		if _, err := sim.RunUntil(core.RunOptions{
+			Steps:   *steps,
+			VTKBase: *out, FinalVTK: *out != "",
+			OnStep: func(s *core.Simulation) {
+				d := s.Describe()
+				if c.Rank() == 0 {
+					fmt.Println(d)
+				}
+			},
+		}); err != nil {
+			panic(err)
 		}
 		// Fig. 9: element fraction per level. (Collective calls happen on
 		// every rank; only rank 0 prints.)
@@ -83,21 +56,7 @@ func main() {
 				}
 			}
 			fmt.Printf("drops (connected components): %d\n", drops)
-		}
-		if *out != "" {
-			m := sim.Mesh
-			phi := m.NewVec(1)
-			for i := 0; i < m.NumLocal; i++ {
-				phi[i] = sim.Solver.PhiMu[2*i]
-			}
-			if err := vtk.Write(m, *out, []vtk.Field{
-				{Name: "phi", Ndof: 1, Data: phi},
-				{Name: "velocity", Ndof: 3, Data: sim.Solver.Vel},
-				{Name: "cahn", Ndof: 1, Data: sim.Solver.ElemCn, Elemental: true},
-			}); err != nil {
-				panic(err)
-			}
-			if c.Rank() == 0 {
+			if *out != "" {
 				fmt.Printf("wrote %s.pvtu\n", *out)
 			}
 		}

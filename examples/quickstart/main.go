@@ -1,5 +1,6 @@
-// Quickstart: a 2D rising bubble on an adaptive octree mesh, run on 4
-// in-process ranks, with VTK output you can open in ParaView.
+// Quickstart: the registered "bubble" scenario — a 2D rising bubble on an
+// adaptive octree mesh — run on 4 in-process ranks through the shared run
+// loop, with VTK output you can open in ParaView.
 //
 //	go run ./examples/quickstart
 package main
@@ -7,12 +8,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math"
 
-	"proteus/internal/chns"
 	"proteus/internal/core"
 	"proteus/internal/par"
-	"proteus/internal/vtk"
+	"proteus/internal/scenario"
 )
 
 func main() {
@@ -21,61 +20,33 @@ func main() {
 	out := flag.String("out", "out/quickstart", "VTK output base path (empty to disable)")
 	flag.Parse()
 
-	p := chns.DefaultParams()
-	p.Cn = 0.05
-	p.Fr = 0.3       // strong gravity: the bubble rises visibly
-	p.RhoMinus = 0.1 // light bubble in heavy fluid
-	p.We = 50
-
-	cfg := core.Config{
-		Dim: 2, Params: p, Opt: chns.DefaultOptions(1e-3),
-		BulkLevel: 3, InterfaceLevel: 6,
-		RemeshEvery: 2,
-	}
-
+	sc, _ := scenario.Get("bubble")
 	par.Run(*ranks, func(c *par.Comm) {
-		sim := core.New(c, cfg, func(x, y, z float64) float64 {
-			// φ=-1 inside the bubble (light), +1 outside (heavy).
-			return chns.EquilibriumProfile(math.Hypot(x-0.5, y-0.3)-0.15, p.Cn)
-		})
+		sim := sc.New(c, scenario.Bench)
 		// Describe is collective: every rank must call it.
 		desc := sim.Describe()
 		if c.Rank() == 0 {
 			fmt.Println("initial:", desc)
 		}
-		for i := 0; i < *steps; i++ {
-			sim.Step()
-			desc = sim.Describe()
-			if c.Rank() == 0 {
-				fmt.Println(desc)
-			}
-		}
-		if *out != "" {
-			writeFields(sim, *out)
-			if c.Rank() == 0 {
-				fmt.Printf("wrote %s.pvtu\n", *out)
-			}
+		if _, err := sim.RunUntil(core.RunOptions{
+			Steps:   *steps,
+			VTKBase: *out, FinalVTK: *out != "",
+			OnStep: func(s *core.Simulation) {
+				d := s.Describe()
+				if c.Rank() == 0 {
+					fmt.Println(d)
+				}
+			},
+		}); err != nil {
+			panic(err)
 		}
 		tm := sim.Timers()
 		if c.Rank() == 0 {
+			if *out != "" {
+				fmt.Printf("wrote %s.pvtu\n", *out)
+			}
 			fmt.Printf("stage totals: CH=%v NS=%v PP=%v VU=%v remesh=%v (remeshes=%d)\n",
 				tm.CH.Total, tm.NS.Total, tm.PP.Total, tm.VU.Total, tm.Remesh.Total, sim.RemeshCount)
 		}
 	})
-}
-
-func writeFields(sim *core.Simulation, base string) {
-	m := sim.Mesh
-	phi := m.NewVec(1)
-	for i := 0; i < m.NumLocal; i++ {
-		phi[i] = sim.Solver.PhiMu[2*i]
-	}
-	if err := vtk.Write(m, base, []vtk.Field{
-		{Name: "phi", Ndof: 1, Data: phi},
-		{Name: "velocity", Ndof: m.Dim, Data: sim.Solver.Vel},
-		{Name: "pressure", Ndof: 1, Data: sim.Solver.P},
-		{Name: "cahn", Ndof: 1, Data: sim.Solver.ElemCn, Elemental: true},
-	}); err != nil {
-		panic(err)
-	}
 }

@@ -4,7 +4,9 @@
 // artificial numerical breakup; the local-Cahn technique prevents it at a
 // fraction of the uniformly fine cost.
 //
-// Three configurations are compared, exactly as in the paper's figure:
+// Three configurations are compared, exactly as in the paper's figure,
+// all derived from the registered "swirl" scenario (whose bench preset is
+// the local-Cahn case):
 //
 //	coarse : constant Cn, interface at the coarse level  -> breaks up
 //	fine   : constant Cn/2.5, interface one level deeper -> intact, slow
@@ -22,18 +24,8 @@ import (
 	"proteus/internal/chns"
 	"proteus/internal/core"
 	"proteus/internal/par"
+	"proteus/internal/scenario"
 )
-
-func swirl(x, y, z, t float64) (float64, float64, float64) {
-	sx := math.Sin(math.Pi * x)
-	sy := math.Sin(math.Pi * y)
-	// Stream function ψ = (1/π) sin²(πx) sin²(πy):
-	// u = ∂ψ/∂y = 2 sin²(πx) sin(πy) cos(πy),
-	// v = -∂ψ/∂x = -2 sin(πx) cos(πx) sin²(πy).
-	u := 2 * sx * sx * sy * math.Cos(math.Pi*y)
-	v := -2 * sx * math.Cos(math.Pi*x) * sy * sy
-	return u, v, 0
-}
 
 type result struct {
 	name      string
@@ -43,36 +35,30 @@ type result struct {
 	massDrift float64
 }
 
-var dtFlag = flag.Float64("dt", 2.5e-3, "time step")
-
-func run(name string, ranks, steps int, interfaceLevel, fineLevel int, cn, fineCn float64, local bool) result {
+func run(name string, ranks, steps, interfaceLevel, fineLevel int, cn, fineCn float64, local bool) result {
+	sc, _ := scenario.Get("swirl")
+	sp := sc.Build(scenario.Bench)
+	sp.Config.InterfaceLevel, sp.Config.FineLevel = interfaceLevel, fineLevel
+	sp.Config.LocalCahn = local
+	sp.Config.Params.Cn, sp.Config.FineCn = cn, fineCn
+	sp.Phi0 = func(x, y, z float64) float64 {
+		// Drop of radius 0.15 at (0.5, 0.75), as in Guo et al.
+		return chns.EquilibriumProfile(math.Hypot(x-0.5, y-0.75)-0.15, cn)
+	}
 	var res result
 	res.name = name
-	p := chns.DefaultParams()
-	p.Cn = cn
-	p.Pe = 1000
-	cfg := core.Config{
-		Dim: 2, Params: p, Opt: chns.DefaultOptions(*dtFlag),
-		BulkLevel: 3, InterfaceLevel: interfaceLevel, FineLevel: fineLevel,
-		LocalCahn: local, FineCn: fineCn,
-		Delta:         -0.5,
-		RemeshEvery:   4,
-		PrescribedVel: swirl,
-	}
 	par.Run(ranks, func(c *par.Comm) {
-		sim := core.New(c, cfg, func(x, y, z float64) float64 {
-			// Drop of radius 0.15 at (0.5, 0.75), as in Guo et al.
-			return chns.EquilibriumProfile(math.Hypot(x-0.5, y-0.75)-0.15, cn)
-		})
+		sim := sc.NewFromSpec(c, scenario.Bench, sp)
 		m0 := sim.Solver.PhiMass()
-		t0 := time.Now()
-		sim.Run(steps)
-		elapsed := time.Since(t0)
+		r, err := sim.RunUntil(core.RunOptions{Steps: steps})
+		if err != nil {
+			panic(err)
+		}
 		elems := sim.GlobalElems()
 		drift := math.Abs(sim.Solver.PhiMass()-m0) / math.Abs(m0)
 		drops := sim.CountDrops(-0.3)
 		if c.Rank() == 0 {
-			res.elapsed = elapsed
+			res.elapsed = r.Wall
 			res.elems = elems
 			res.massDrift = drift
 			res.drops = drops

@@ -1,0 +1,308 @@
+// Package ckpt implements parallel checkpoint/restart for long adaptive
+// runs: a versioned binary snapshot of the distributed forest (octant
+// keys per rank), every solver field (φ/μ, velocity, pressure, elemental
+// Cahn number), the step index, physical time and accumulated timers.
+// Snapshots are written one binary file per rank plus a JSON meta file,
+// and can be read back at a *different* rank count: each restoring rank
+// reads a contiguous block of the per-rank files, so the concatenation
+// across ranks reproduces the global SFC order and the records can be
+// replayed through the key-addressed bitwise migration path
+// (transfer.MigrateKeyedNodal / transfer.MigrateElem) onto the restart
+// partition. Field values survive the round trip bitwise.
+package ckpt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"proteus/internal/chns"
+	"proteus/internal/mesh"
+	"proteus/internal/par"
+	"proteus/internal/sfc"
+)
+
+// Version is the snapshot format version stamped into every rank file and
+// the meta file. Readers reject other versions.
+const Version = 1
+
+// magic identifies a proteus checkpoint rank file.
+var magic = [4]byte{'P', 'C', 'K', 'P'}
+
+// Meta is the global, rank-count-independent description of a snapshot,
+// written as JSON next to the rank files. Scenario and Preset let a
+// driver rebuild the (non-serializable) Config through the scenario
+// registry before restoring.
+type Meta struct {
+	Version  int     `json:"version"`
+	Scenario string  `json:"scenario,omitempty"`
+	Preset   string  `json:"preset,omitempty"`
+	Ranks    int     `json:"ranks"`
+	Dim      int     `json:"dim"`
+	Step     int     `json:"step"`
+	Time     float64 `json:"time"`
+	// LocalCahn records the *effective* detection setting of the writing
+	// run (the scenario default possibly overridden by -localcahn), so a
+	// restart reproduces the physics rather than the registry default.
+	LocalCahn   bool  `json:"local_cahn"`
+	RemeshCount int   `json:"remesh_count"`
+	GlobalElems int64 `json:"global_elems"`
+	GlobalDofs  int64 `json:"global_dofs"`
+	// Timers are the accumulated stage timers at checkpoint time, restored
+	// so a resumed run keeps meaningful cumulative Fig. 7 accounting.
+	Timers chns.Timers `json:"timers"`
+}
+
+// Local is one rank's slice of a snapshot: its contiguous SFC range of
+// leaves with the elemental Cahn numbers, and its owned nodes (keys plus
+// the per-node field values, owned segment only — ghosts are re-derived
+// on restore).
+type Local struct {
+	Elems  []sfc.Octant
+	ElemCn []float64
+	Keys   []mesh.NodeKey
+	PhiMu  []float64 // 2 per key
+	Vel    []float64 // dim per key
+	P      []float64 // 1 per key
+}
+
+func metaPath(base string) string { return base + ".meta.json" }
+
+func rankPath(base string, r int) string {
+	return fmt.Sprintf("%s_r%04d.ck", base, r)
+}
+
+// Write dumps the snapshot under path base: one binary file per rank and
+// the meta JSON from rank 0. Every file is written to a temporary path
+// and renamed into place only after all ranks report success (meta
+// last), so a crash or error mid-write leaves any previous snapshot at
+// base intact and restartable. The error result is collective-consistent
+// (all ranks agree on success or failure). Collective.
+func Write(c *par.Comm, base string, meta Meta, loc *Local) error {
+	meta.Version = Version
+	meta.Ranks = c.Size()
+	rp, mp := rankPath(base, c.Rank()), metaPath(base)
+	var err error
+	if dir := filepath.Dir(base); dir != "." && dir != "" {
+		err = os.MkdirAll(dir, 0o755)
+	}
+	if err == nil {
+		err = writeRank(rp+".tmp", meta, c.Rank(), loc)
+	}
+	if err == nil && c.Rank() == 0 {
+		err = writeMeta(mp+".tmp", meta)
+	}
+	fail := func(err error) error {
+		os.Remove(rp + ".tmp")
+		if c.Rank() == 0 {
+			os.Remove(mp + ".tmp")
+		}
+		return fmt.Errorf("ckpt: write %s: %w", base, err)
+	}
+	if par.Allreduce(c, err != nil, func(a, b bool) bool { return a || b }) {
+		if err == nil {
+			err = fmt.Errorf("write failed on a peer rank")
+		}
+		return fail(err)
+	}
+	err = os.Rename(rp+".tmp", rp)
+	if par.Allreduce(c, err != nil, func(a, b bool) bool { return a || b }) {
+		if err == nil {
+			err = fmt.Errorf("rename failed on a peer rank")
+		}
+		return fail(err)
+	}
+	// All rank files are in place; committing the meta publishes the
+	// snapshot (a reader pairs meta with exactly the rank files it names).
+	if c.Rank() == 0 {
+		err = os.Rename(mp+".tmp", mp)
+	}
+	if par.Allreduce(c, err != nil, func(a, b bool) bool { return a || b }) {
+		if err == nil {
+			err = fmt.Errorf("meta rename failed on rank 0")
+		}
+		return fail(err)
+	}
+	return nil
+}
+
+func writeMeta(path string, meta Meta) error {
+	b, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadMeta loads the snapshot description. Callable before any par.Run —
+// drivers use it to pick the scenario and rank count for the restart.
+func ReadMeta(base string) (Meta, error) {
+	var m Meta
+	b, err := os.ReadFile(metaPath(base))
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		return m, fmt.Errorf("ckpt: meta %s: %w", metaPath(base), err)
+	}
+	if m.Version != Version {
+		return m, fmt.Errorf("ckpt: %s is format version %d, want %d", base, m.Version, Version)
+	}
+	return m, nil
+}
+
+func writeRank(path string, meta Meta, rank int, loc *Local) error {
+	dim := meta.Dim
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	le := binary.LittleEndian
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	hdr := []uint32{Version, uint32(dim), uint32(rank), uint32(meta.Ranks), uint32(meta.Step)}
+	if err := binary.Write(w, le, hdr); err != nil {
+		return err
+	}
+	ne, nn := len(loc.Elems), len(loc.Keys)
+	if len(loc.ElemCn) != ne || len(loc.PhiMu) != 2*nn || len(loc.Vel) != dim*nn || len(loc.P) != nn {
+		return fmt.Errorf("ckpt: local snapshot slice lengths inconsistent (ne=%d nn=%d)", ne, nn)
+	}
+	if err := binary.Write(w, le, []uint64{uint64(ne), uint64(nn)}); err != nil {
+		return err
+	}
+	ex := make([]uint32, 3*ne)
+	lv := make([]uint8, ne)
+	for i, o := range loc.Elems {
+		ex[3*i], ex[3*i+1], ex[3*i+2] = o.X, o.Y, o.Z
+		lv[i] = o.Level
+	}
+	kx := make([]uint32, 3*nn)
+	for i, k := range loc.Keys {
+		kx[3*i], kx[3*i+1], kx[3*i+2] = k.X, k.Y, k.Z
+	}
+	for _, part := range []any{ex, lv, loc.ElemCn, kx, loc.PhiMu, loc.Vel, loc.P} {
+		if err := binary.Write(w, le, part); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+func readRank(path string, meta Meta) (*Local, error) {
+	dim := meta.Dim
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	le := binary.LittleEndian
+	var mg [4]byte
+	if _, err := io.ReadFull(r, mg[:]); err != nil {
+		return nil, err
+	}
+	if mg != magic {
+		return nil, fmt.Errorf("ckpt: %s: bad magic %q", path, mg[:])
+	}
+	hdr := make([]uint32, 5)
+	if err := binary.Read(r, le, hdr); err != nil {
+		return nil, err
+	}
+	if hdr[0] != Version {
+		return nil, fmt.Errorf("ckpt: %s is format version %d, want %d", path, hdr[0], Version)
+	}
+	if int(hdr[1]) != dim || int(hdr[3]) != meta.Ranks {
+		return nil, fmt.Errorf("ckpt: %s header (dim=%d ranks=%d) disagrees with meta (dim=%d ranks=%d)",
+			path, hdr[1], hdr[3], dim, meta.Ranks)
+	}
+	// The step stamp catches a torn snapshot: a crash between the
+	// per-rank renames can leave rank files from different checkpoints
+	// next to one meta, which must fail loudly instead of restoring a
+	// physically inconsistent mixed-step state.
+	if int(hdr[4]) != meta.Step {
+		return nil, fmt.Errorf("ckpt: %s holds step %d but the meta names step %d — torn snapshot",
+			path, hdr[4], meta.Step)
+	}
+	sz := make([]uint64, 2)
+	if err := binary.Read(r, le, sz); err != nil {
+		return nil, err
+	}
+	// Bound the counts by the file size before allocating: every element
+	// record is >= 21 bytes and every node record >= 36, so corrupted
+	// counts in an otherwise well-formed header fail loudly here instead
+	// of triggering an allocation larger than the file itself.
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if sz[0] > uint64(st.Size())/21 || sz[1] > uint64(st.Size())/36 {
+		return nil, fmt.Errorf("ckpt: %s: corrupt record counts (%d elems, %d nodes in a %d-byte file)",
+			path, sz[0], sz[1], st.Size())
+	}
+	ne, nn := int(sz[0]), int(sz[1])
+	ex := make([]uint32, 3*ne)
+	lv := make([]uint8, ne)
+	kx := make([]uint32, 3*nn)
+	loc := &Local{
+		ElemCn: make([]float64, ne),
+		PhiMu:  make([]float64, 2*nn),
+		Vel:    make([]float64, dim*nn),
+		P:      make([]float64, nn),
+	}
+	for _, part := range []any{ex, lv, loc.ElemCn, kx, loc.PhiMu, loc.Vel, loc.P} {
+		if err := binary.Read(r, le, part); err != nil {
+			return nil, fmt.Errorf("ckpt: %s truncated: %w", path, err)
+		}
+	}
+	loc.Elems = make([]sfc.Octant, ne)
+	for i := range loc.Elems {
+		loc.Elems[i] = sfc.Octant{X: ex[3*i], Y: ex[3*i+1], Z: ex[3*i+2], Level: lv[i], Dim: uint8(dim)}
+	}
+	loc.Keys = make([]mesh.NodeKey, nn)
+	for i := range loc.Keys {
+		loc.Keys[i] = mesh.NodeKey{X: kx[3*i], Y: kx[3*i+1], Z: kx[3*i+2]}
+	}
+	return loc, nil
+}
+
+// Read loads this rank's share of a snapshot written at meta.Ranks ranks
+// onto the current communicator of any size: rank r reads writer files
+// [r·R/R', (r+1)·R/R') — a contiguous, order-preserving assignment, so
+// each rank's concatenated leaves form a contiguous SFC range and the
+// ranges across ranks are in global order (some may be empty when the
+// restart uses more ranks than the writer). The error result is
+// collective-consistent. Collective.
+func Read(c *par.Comm, base string, meta Meta) (*Local, error) {
+	rp, r := c.Size(), c.Rank()
+	lo, hi := r*meta.Ranks/rp, (r+1)*meta.Ranks/rp
+	out := &Local{}
+	var err error
+	for i := lo; i < hi && err == nil; i++ {
+		var loc *Local
+		loc, err = readRank(rankPath(base, i), meta)
+		if err != nil {
+			break
+		}
+		out.Elems = append(out.Elems, loc.Elems...)
+		out.ElemCn = append(out.ElemCn, loc.ElemCn...)
+		out.Keys = append(out.Keys, loc.Keys...)
+		out.PhiMu = append(out.PhiMu, loc.PhiMu...)
+		out.Vel = append(out.Vel, loc.Vel...)
+		out.P = append(out.P, loc.P...)
+	}
+	if par.Allreduce(c, err != nil, func(a, b bool) bool { return a || b }) {
+		if err == nil {
+			err = fmt.Errorf("ckpt: read failed on a peer rank")
+		}
+		return nil, fmt.Errorf("ckpt: read %s: %w", base, err)
+	}
+	return out, nil
+}

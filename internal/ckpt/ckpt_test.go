@@ -1,0 +1,172 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"proteus/internal/mesh"
+	"proteus/internal/par"
+	"proteus/internal/sfc"
+)
+
+// synthLocal fabricates one rank's snapshot share: two level-1 quadrants
+// per rank (globally SFC-ordered when ranks are taken in order) with
+// rank-tagged field values.
+func synthLocal(rank, dim int) *Local {
+	root := sfc.Root(dim)
+	loc := &Local{}
+	for c := 0; c < 2; c++ {
+		loc.Elems = append(loc.Elems, root.Child(2*rank+c))
+		loc.ElemCn = append(loc.ElemCn, float64(100*rank+c))
+	}
+	for i := 0; i < 3; i++ {
+		loc.Keys = append(loc.Keys, mesh.NodeKey{X: uint32(rank*10 + i), Y: uint32(i), Z: 0})
+		loc.PhiMu = append(loc.PhiMu, float64(rank)+0.1, float64(i)+0.2)
+		loc.Vel = append(loc.Vel, float64(rank*i), -float64(i))
+		loc.P = append(loc.P, float64(rank)*1e-3+float64(i))
+	}
+	return loc
+}
+
+func sameLocal(a, b *Local) error {
+	if len(a.Elems) != len(b.Elems) || len(a.Keys) != len(b.Keys) {
+		return fmt.Errorf("size mismatch: %d/%d elems, %d/%d keys",
+			len(a.Elems), len(b.Elems), len(a.Keys), len(b.Keys))
+	}
+	for i := range a.Elems {
+		if !a.Elems[i].EqualKey(b.Elems[i]) || a.ElemCn[i] != b.ElemCn[i] {
+			return fmt.Errorf("elem %d differs", i)
+		}
+	}
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] || a.P[i] != b.P[i] {
+			return fmt.Errorf("node %d differs", i)
+		}
+	}
+	for i := range a.PhiMu {
+		if a.PhiMu[i] != b.PhiMu[i] {
+			return fmt.Errorf("phimu %d differs", i)
+		}
+	}
+	for i := range a.Vel {
+		if a.Vel[i] != b.Vel[i] {
+			return fmt.Errorf("vel %d differs", i)
+		}
+	}
+	return nil
+}
+
+// concatLocals gathers every rank's share to rank 0 in rank order.
+func concatLocals(c *par.Comm, loc *Local) *Local {
+	type share struct{ L Local }
+	all := par.Gatherv(c, 0, []share{{*loc}})
+	if c.Rank() != 0 {
+		return nil
+	}
+	out := &Local{}
+	for _, batch := range all {
+		for _, s := range batch {
+			out.Elems = append(out.Elems, s.L.Elems...)
+			out.ElemCn = append(out.ElemCn, s.L.ElemCn...)
+			out.Keys = append(out.Keys, s.L.Keys...)
+			out.PhiMu = append(out.PhiMu, s.L.PhiMu...)
+			out.Vel = append(out.Vel, s.L.Vel...)
+			out.P = append(out.P, s.L.P...)
+		}
+	}
+	return out
+}
+
+// TestRoundTripAcrossRankCounts writes a snapshot at 2 ranks and reads
+// it back at 1, 2 and 4 ranks: the global concatenation (rank order)
+// must reproduce the written records bitwise, and the meta must survive
+// the JSON round trip.
+func TestRoundTripAcrossRankCounts(t *testing.T) {
+	base := t.TempDir() + "/snap"
+	meta := Meta{
+		Scenario: "bubble", Preset: "smoke", Dim: 2,
+		Step: 7, Time: 0.007, RemeshCount: 3,
+		GlobalElems: 4, GlobalDofs: 6,
+	}
+	meta.Timers.CH.Total = 123 * time.Millisecond
+	meta.Timers.CH.Iterations = 42
+	meta.Timers.RemeshStages.Rounds = 5
+
+	var want *Local
+	par.Run(2, func(c *par.Comm) {
+		loc := synthLocal(c.Rank(), 2)
+		if w := concatLocals(c, loc); w != nil {
+			want = w
+		}
+		if err := Write(c, base, meta, loc); err != nil {
+			panic(err)
+		}
+	})
+
+	got, err := ReadMeta(base)
+	if err != nil {
+		t.Fatalf("ReadMeta: %v", err)
+	}
+	if got.Version != Version || got.Scenario != "bubble" || got.Preset != "smoke" ||
+		got.Ranks != 2 || got.Step != 7 || got.Time != 0.007 || got.RemeshCount != 3 {
+		t.Fatalf("meta did not round-trip: %+v", got)
+	}
+	if got.Timers.CH.Total != 123*time.Millisecond || got.Timers.CH.Iterations != 42 ||
+		got.Timers.RemeshStages.Rounds != 5 {
+		t.Fatalf("timers did not round-trip: %+v", got.Timers)
+	}
+
+	for _, p := range []int{1, 2, 4} {
+		var back *Local
+		par.Run(p, func(c *par.Comm) {
+			loc, err := Read(c, base, got)
+			if err != nil {
+				panic(err)
+			}
+			if b := concatLocals(c, loc); b != nil {
+				back = b
+			}
+		})
+		if err := sameLocal(want, back); err != nil {
+			t.Fatalf("read at %d ranks: %v", p, err)
+		}
+	}
+}
+
+// TestVersionAndCorruptionRejected checks that a future-format meta and
+// a corrupted rank file both fail loudly.
+func TestVersionAndCorruptionRejected(t *testing.T) {
+	base := t.TempDir() + "/snap"
+	meta := Meta{Dim: 2, Step: 1}
+	par.Run(1, func(c *par.Comm) {
+		if err := Write(c, base, meta, synthLocal(0, 2)); err != nil {
+			panic(err)
+		}
+	})
+	good, err := ReadMeta(base)
+	if err != nil {
+		t.Fatalf("ReadMeta: %v", err)
+	}
+
+	mb, _ := os.ReadFile(metaPath(base))
+	bad := strings.Replace(string(mb), fmt.Sprintf("\"version\": %d", Version), "\"version\": 99", 1)
+	if err := os.WriteFile(metaPath(base), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMeta(base); err == nil {
+		t.Fatal("future-version meta accepted")
+	}
+	os.WriteFile(metaPath(base), mb, 0o644)
+
+	rb, _ := os.ReadFile(rankPath(base, 0))
+	rb[0] ^= 0xff // break the magic
+	os.WriteFile(rankPath(base, 0), rb, 0o644)
+	par.Run(1, func(c *par.Comm) {
+		if _, err := Read(c, base, good); err == nil {
+			panic("corrupted rank file accepted")
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"proteus/internal/ckpt"
+	"proteus/internal/octree"
+	"proteus/internal/par"
+	"proteus/internal/transfer"
+)
+
+// Checkpoint writes a restartable snapshot of the simulation under path
+// base: the local forest range, every solver field (owned segments) and
+// the step/time/timer bookkeeping. The snapshot is rank-count portable —
+// see Restore. Collective.
+func (s *Simulation) Checkpoint(base string) error {
+	m := s.Mesh
+	meta := ckpt.Meta{
+		Scenario:    s.ScenarioName,
+		Preset:      s.PresetName,
+		Dim:         s.Cfg.Dim,
+		Step:        s.StepIndex,
+		Time:        s.Time,
+		LocalCahn:   s.Cfg.LocalCahn,
+		RemeshCount: s.RemeshCount,
+		GlobalElems: s.GlobalElems(),
+		GlobalDofs:  m.NumGlobal,
+		Timers:      s.Timers(),
+	}
+	loc := &ckpt.Local{
+		Elems:  m.Elems,
+		ElemCn: s.Solver.ElemCn,
+		Keys:   m.Keys[:m.NumOwned],
+		PhiMu:  s.Solver.PhiMu[:2*m.NumOwned],
+		Vel:    s.Solver.Vel[:m.Dim*m.NumOwned],
+		P:      s.Solver.P[:m.NumOwned],
+	}
+	return ckpt.Write(s.Comm, base, meta, loc)
+}
+
+// Restore rebuilds a simulation from a snapshot written by Checkpoint,
+// at the current communicator's rank count — which need not match the
+// writer's. Each rank reads a contiguous block of the writer files, the
+// forest is repartitioned by the same SFC rule every remesh uses, and
+// the saved records replay through the key-addressed bitwise migration
+// path (transfer.MigrateKeyedNodal / MigrateElem), so the restored
+// global state is bitwise identical to the checkpointed one at any rank
+// count. cfg must describe the same case the snapshot was written from
+// (drivers rebuild it from meta.Scenario/Preset via the registry).
+// Collective.
+func Restore(c *par.Comm, cfg Config, base string) (*Simulation, error) {
+	meta, err := ckpt.ReadMeta(base)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Dim != cfg.Dim {
+		return nil, fmt.Errorf("core: snapshot %s is %dD but the config is %dD", base, meta.Dim, cfg.Dim)
+	}
+	loc, err := ckpt.Read(c, base, meta)
+	if err != nil {
+		return nil, err
+	}
+	// The same deterministic SFC partition rule the remesh pipeline uses:
+	// a function of the global leaf sequence only, so restoring at the
+	// writer's rank count reproduces its partition exactly.
+	local := octree.PartitionWeighted(c, loc.Elems, nil)
+	s := NewOnLeaves(c, cfg, local)
+	s.ScenarioName, s.PresetName = meta.Scenario, meta.Preset
+
+	cn := transfer.MigrateElem(c, loc.Elems, loc.ElemCn, s.Mesh.Elems)
+	copy(s.Solver.ElemCn, cn)
+
+	dim := cfg.Dim
+	tot := 2 + dim + 1
+	packed := make([]float64, len(loc.Keys)*tot)
+	for i := range loc.Keys {
+		off := i * tot
+		copy(packed[off:off+2], loc.PhiMu[2*i:2*i+2])
+		copy(packed[off+2:off+2+dim], loc.Vel[dim*i:dim*(i+1)])
+		packed[off+2+dim] = loc.P[i]
+	}
+	transfer.MigrateKeyedNodal(s.Mesh, loc.Keys, packed, []transfer.Field{
+		{Dst: s.Solver.PhiMu, Ndof: 2},
+		{Dst: s.Solver.Vel, Ndof: dim},
+		{Dst: s.Solver.P, Ndof: 1},
+	})
+
+	s.StepIndex = meta.Step
+	s.Time = meta.Time
+	s.RemeshCount = meta.RemeshCount
+	s.T = meta.Timers
+	return s, nil
+}

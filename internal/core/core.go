@@ -85,6 +85,13 @@ type Simulation struct {
 	Mesh   *mesh.Mesh
 	Solver *chns.Solver
 
+	// ScenarioName and PresetName identify the registered case this
+	// simulation was built from (set by the scenario layer); checkpoints
+	// stamp them into their meta file so a restart can rebuild the
+	// non-serializable Config through the registry.
+	ScenarioName string
+	PresetName   string
+
 	StepIndex int
 	Time      float64
 
@@ -123,11 +130,21 @@ func New(c *par.Comm, cfg Config, phi0 func(x, y, z float64) float64) *Simulatio
 	}, cfg.InterfaceLevel, nil).Balance21(nil)
 	local := partitionSlice(tr.Leaves, c.Rank(), c.Size())
 	local = octree.PartitionWeighted(c, local, nil)
+	s := NewOnLeaves(c, cfg, local)
+	s.Solver.SetPhi(phi0)
+	s.Solver.InitMuFromPhi()
+	return s
+}
+
+// NewOnLeaves builds a simulation over an explicit, already partitioned
+// local leaf set, leaving every state field zero — the checkpoint-restore
+// entry point (Restore fills the fields by keyed migration afterwards).
+// Collective.
+func NewOnLeaves(c *par.Comm, cfg Config, local []sfc.Octant) *Simulation {
+	cfg.defaults()
 	m := mesh.New(c, cfg.Dim, local)
 	s := &Simulation{Comm: c, Cfg: cfg, Mesh: m}
 	s.Solver = chns.NewSolver(m, cfg.Params, cfg.Opt)
-	s.Solver.SetPhi(phi0)
-	s.Solver.InitMuFromPhi()
 	return s
 }
 

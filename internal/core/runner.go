@@ -1,0 +1,171 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"proteus/internal/chns"
+	"proteus/internal/par"
+	"proteus/internal/vtk"
+)
+
+// RunOptions bounds one RunUntil call and wires its periodic outputs.
+// At least one of Steps and MaxWall must be set.
+type RunOptions struct {
+	// Steps is the step budget for this call (<= 0: unbounded, MaxWall
+	// must then be set). On a restart this is the number of *additional*
+	// steps, not the absolute step index.
+	Steps int
+	// MaxWall is the wall-clock budget; rank 0's clock decides and the
+	// decision is broadcast, so every rank stops at the same step.
+	MaxWall time.Duration
+
+	// CkptEvery writes a checkpoint to CkptBase every n steps (0: off).
+	// FinalCkpt writes one after the loop ends; each write overwrites the
+	// previous snapshot at CkptBase, so the base always holds the latest.
+	CkptEvery int
+	CkptBase  string
+	FinalCkpt bool
+
+	// VTKEvery writes the field set under VTKBase_sNNNNNN every n steps
+	// (0: off); FinalVTK writes once under VTKBase after the loop.
+	VTKEvery int
+	VTKBase  string
+	FinalVTK bool
+
+	// OnStep runs after every step on every rank (collective calls are
+	// safe inside it) — the hook for per-step stats and logging.
+	OnStep func(s *Simulation)
+}
+
+// RunResult reports what a RunUntil call actually did.
+type RunResult struct {
+	StepsDone int
+	Wall      time.Duration
+	// Stopped is "steps" or "wall".
+	Stopped string
+}
+
+// RunUntil owns the run loop every driver shares: it advances the
+// simulation until the step or wall-clock budget is exhausted, firing
+// periodic checkpoints, VTK dumps and the per-step callback. Collective.
+func (s *Simulation) RunUntil(o RunOptions) (RunResult, error) {
+	var res RunResult
+	if o.Steps <= 0 && o.MaxWall <= 0 {
+		return res, fmt.Errorf("core: RunUntil needs a step or wall-clock budget")
+	}
+	if o.CkptEvery > 0 && o.CkptBase == "" {
+		return res, fmt.Errorf("core: RunUntil: CkptEvery set without CkptBase")
+	}
+	if o.VTKEvery > 0 && o.VTKBase == "" {
+		return res, fmt.Errorf("core: RunUntil: VTKEvery set without VTKBase")
+	}
+	start := time.Now()
+	lastCkpt := -1
+	for {
+		if o.Steps > 0 && res.StepsDone >= o.Steps {
+			res.Stopped = "steps"
+			break
+		}
+		if o.MaxWall > 0 {
+			over := time.Since(start) >= o.MaxWall
+			if par.Bcast(s.Comm, 0, over) {
+				res.Stopped = "wall"
+				break
+			}
+		}
+		s.Step()
+		res.StepsDone++
+		if o.OnStep != nil {
+			o.OnStep(s)
+		}
+		if o.CkptEvery > 0 && res.StepsDone%o.CkptEvery == 0 {
+			if err := s.Checkpoint(o.CkptBase); err != nil {
+				return res, err
+			}
+			lastCkpt = s.StepIndex
+		}
+		if o.VTKEvery > 0 && res.StepsDone%o.VTKEvery == 0 {
+			if err := s.WriteVTK(fmt.Sprintf("%s_s%06d", o.VTKBase, s.StepIndex)); err != nil {
+				return res, err
+			}
+		}
+	}
+	res.Wall = time.Since(start)
+	// Skip the final write when the periodic cadence just snapshotted
+	// this very step — it would serialize identical state twice.
+	if o.FinalCkpt && o.CkptBase != "" && lastCkpt != s.StepIndex {
+		if err := s.Checkpoint(o.CkptBase); err != nil {
+			return res, err
+		}
+	}
+	if o.FinalVTK && o.VTKBase != "" {
+		if err := s.WriteVTK(o.VTKBase); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// WriteVTK dumps the standard field set (φ, μ, velocity, pressure,
+// elemental Cahn number) under path base. Collective.
+func (s *Simulation) WriteVTK(base string) error {
+	return vtk.WriteFields(s.Mesh, base, s.Solver.PhiMu, s.Solver.Vel, s.Solver.P, s.Solver.ElemCn)
+}
+
+// RunStats is the machine-readable run summary dumped by -stats-json:
+// the accumulated stage timers (including the remesh sub-timers), global
+// mesh size, remesh counts and the level histogram — the raw material of
+// BENCH_*.json trajectories.
+type RunStats struct {
+	Scenario            string      `json:"scenario,omitempty"`
+	Preset              string      `json:"preset,omitempty"`
+	Ranks               int         `json:"ranks"`
+	Step                int         `json:"step"`
+	Time                float64     `json:"time"`
+	GlobalElems         int64       `json:"global_elems"`
+	GlobalDofs          int64       `json:"global_dofs"`
+	RemeshCount         int         `json:"remesh_count"`
+	RemeshRounds        int         `json:"remesh_rounds"`
+	PartitionOnlyRounds int         `json:"partition_only_rounds"`
+	LevelHistogram      []float64   `json:"level_histogram"`
+	Timers              chns.Timers `json:"timers"`
+}
+
+// Stats assembles the run summary. Collective (global reductions); every
+// rank receives the same value.
+func (s *Simulation) Stats() RunStats {
+	t := s.Timers()
+	return RunStats{
+		Scenario:            s.ScenarioName,
+		Preset:              s.PresetName,
+		Ranks:               s.Comm.Size(),
+		Step:                s.StepIndex,
+		Time:                s.Time,
+		GlobalElems:         s.GlobalElems(),
+		GlobalDofs:          s.Mesh.NumGlobal,
+		RemeshCount:         s.RemeshCount,
+		RemeshRounds:        t.RemeshStages.Rounds,
+		PartitionOnlyRounds: t.RemeshStages.PartitionOnly,
+		LevelHistogram:      s.LevelHistogram(),
+		Timers:              t,
+	}
+}
+
+// WriteStatsJSON writes any stats payload (one RunStats or a slice of
+// them) as indented JSON. Call from one rank only.
+func WriteStatsJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

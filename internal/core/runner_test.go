@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"proteus/internal/chns"
+	"proteus/internal/par"
+)
+
+// TestConfigDefaults pins the documented zero-value fallbacks of
+// Config.defaults: detection knobs, remesh cadence and the local-Cahn
+// FineLevel/FineCn fallbacks.
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{Params: chns.Params{Cn: 0.05}, InterfaceLevel: 5}
+	cfg.defaults()
+	if cfg.Delta != -0.8 {
+		t.Errorf("Delta default %v, want -0.8", cfg.Delta)
+	}
+	if cfg.ErodeSteps != 2 || cfg.DilateSteps != 4 {
+		t.Errorf("erode/dilate defaults %d/%d, want 2/4", cfg.ErodeSteps, cfg.DilateSteps)
+	}
+	if cfg.RemeshEvery != 1 {
+		t.Errorf("RemeshEvery default %d, want 1", cfg.RemeshEvery)
+	}
+	if cfg.FineCn != 0.05/2.5 {
+		t.Errorf("FineCn default %v, want Cn/2.5 = %v", cfg.FineCn, 0.05/2.5)
+	}
+	if cfg.FineLevel != 5 {
+		t.Errorf("FineLevel default %d, want InterfaceLevel = 5", cfg.FineLevel)
+	}
+
+	// Explicit values survive, and DilateSteps tracks a custom ErodeSteps.
+	cfg = Config{
+		Params: chns.Params{Cn: 0.02}, InterfaceLevel: 6, FineLevel: 8,
+		Delta: -0.5, ErodeSteps: 3, RemeshEvery: 4, FineCn: 0.01,
+	}
+	cfg.defaults()
+	if cfg.Delta != -0.5 || cfg.RemeshEvery != 4 || cfg.FineCn != 0.01 || cfg.FineLevel != 8 {
+		t.Errorf("explicit knobs overwritten: %+v", cfg)
+	}
+	if cfg.DilateSteps != 5 {
+		t.Errorf("DilateSteps %d, want ErodeSteps+2 = 5", cfg.DilateSteps)
+	}
+}
+
+// TestDescribeAndLevelHistogram checks the two summary collectives: the
+// histogram is a normalized distribution whose support matches the
+// refinement policy, and Describe reports the matching global counts
+// identically on a second rank count.
+func TestDescribeAndLevelHistogram(t *testing.T) {
+	descs := map[int]string{}
+	for _, p := range []int{1, 2} {
+		par.Run(p, func(c *par.Comm) {
+			sim := New(c, smallSwirlConfig(false), dropPhi(0.04))
+			h := sim.LevelHistogram()
+			desc := sim.Describe()
+			elems := sim.GlobalElems()
+			if c.Rank() != 0 {
+				return
+			}
+			if len(h) != sim.Cfg.InterfaceLevel+1 {
+				panic(fmt.Sprintf("histogram has %d bins, finest level should be %d", len(h), sim.Cfg.InterfaceLevel))
+			}
+			var tot float64
+			for _, v := range h {
+				if v < 0 {
+					panic("negative histogram fraction")
+				}
+				tot += v
+			}
+			if tot < 1-1e-12 || tot > 1+1e-12 {
+				panic(fmt.Sprintf("histogram sums to %v, want 1", tot))
+			}
+			want := fmt.Sprintf("step 0 t=0.0000 elems=%d levels=[%d,%d] dofs=%d",
+				elems, sim.Cfg.BulkLevel, sim.Cfg.InterfaceLevel, sim.Mesh.NumGlobal)
+			if desc != want {
+				panic(fmt.Sprintf("Describe %q, want %q", desc, want))
+			}
+			descs[p] = desc
+		})
+	}
+	if descs[1] != descs[2] {
+		t.Fatalf("Describe is rank-count dependent: %q vs %q", descs[1], descs[2])
+	}
+}
+
+// TestRunUntil covers the run loop's budgets, callbacks and periodic
+// outputs.
+func TestRunUntil(t *testing.T) {
+	cfg := ckptTestConfig()
+	phi0 := ckptTestPhi0(cfg.Params.Cn)
+	dir := t.TempDir()
+	par.Run(2, func(c *par.Comm) {
+		sim := New(c, cfg, phi0)
+
+		if _, err := sim.RunUntil(RunOptions{}); err == nil {
+			panic("RunUntil accepted an unbounded run")
+		}
+		if _, err := sim.RunUntil(RunOptions{Steps: 1, CkptEvery: 1}); err == nil {
+			panic("RunUntil accepted CkptEvery without CkptBase")
+		}
+		if _, err := sim.RunUntil(RunOptions{Steps: 1, VTKEvery: 1}); err == nil {
+			panic("RunUntil accepted VTKEvery without VTKBase")
+		}
+
+		calls := 0
+		res, err := sim.RunUntil(RunOptions{
+			Steps:     3,
+			CkptEvery: 2, CkptBase: dir + "/ck",
+			VTKEvery: 3, VTKBase: dir + "/v",
+			OnStep: func(s *Simulation) { calls++ },
+		})
+		if err != nil {
+			panic(err)
+		}
+		if res.StepsDone != 3 || res.Stopped != "steps" || calls != 3 || sim.StepIndex != 3 {
+			panic(fmt.Sprintf("step budget: %+v calls=%d idx=%d", res, calls, sim.StepIndex))
+		}
+
+		res, err = sim.RunUntil(RunOptions{Steps: 100, MaxWall: time.Nanosecond})
+		if err != nil {
+			panic(err)
+		}
+		if res.Stopped != "wall" || res.StepsDone != 0 {
+			panic(fmt.Sprintf("wall budget: %+v", res))
+		}
+	})
+	for _, f := range []string{"ck.meta.json", "ck_r0000.ck", "ck_r0001.ck", "v_s000003.pvtu"} {
+		if _, err := os.Stat(dir + "/" + f); err != nil {
+			t.Errorf("periodic output %s missing: %v", f, err)
+		}
+	}
+	if b, err := os.ReadFile(dir + "/ck.meta.json"); err != nil || !strings.Contains(string(b), "\"step\": 2") {
+		t.Errorf("checkpoint cadence wrong (want a step-2 snapshot): %v %s", err, b)
+	}
+}
+
+// TestStatsShape checks the machine-readable summary against the
+// simulation's own collectives.
+func TestStatsShape(t *testing.T) {
+	path := t.TempDir() + "/stats.json"
+	par.Run(2, func(c *par.Comm) {
+		sim := New(c, ckptTestConfig(), ckptTestPhi0(0.08))
+		sim.ScenarioName, sim.PresetName = "bubble", "smoke"
+		sim.Run(3)
+		st := sim.Stats()
+		elems := sim.GlobalElems()
+		if c.Rank() != 0 {
+			return
+		}
+		if st.Scenario != "bubble" || st.Preset != "smoke" || st.Ranks != 2 || st.Step != 3 {
+			panic(fmt.Sprintf("stats identity wrong: %+v", st))
+		}
+		if st.GlobalElems != elems || st.GlobalDofs != sim.Mesh.NumGlobal {
+			panic("stats counts disagree with the mesh")
+		}
+		if st.RemeshRounds < 1 {
+			panic("remesh rounds not accounted")
+		}
+		if err := WriteStatsJSON(path, st); err != nil {
+			panic(err)
+		}
+	})
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"\"timers\"", "\"RemeshStages\"", "\"global_elems\"", "\"level_histogram\"", "\"remesh_count\""} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("stats JSON missing %s", key)
+		}
+	}
+}

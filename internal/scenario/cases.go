@@ -1,0 +1,337 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"proteus/internal/chns"
+	"proteus/internal/core"
+)
+
+// The built-in registry: the paper's three cases (rising bubble,
+// swirling-flow validation, jet atomization) plus three further
+// workloads (spinodal decomposition, Rayleigh–Taylor instability, drop
+// impact/splash) exercising the same adaptive CHNS pipeline.
+func init() {
+	Register(bubbleScenario())
+	Register(swirlScenario())
+	Register(jetScenario())
+	Register(spinodalScenario())
+	Register(rtiScenario())
+	Register(splashScenario())
+}
+
+// maxAbsPhi returns the global max |φ| (NaNs map to +Inf so they trip
+// any bound). Collective.
+func maxAbsPhi(s *core.Simulation) float64 {
+	var mx float64
+	for i := 0; i < s.Mesh.NumOwned; i++ {
+		v := math.Abs(s.Solver.PhiMu[2*i])
+		if math.IsNaN(v) {
+			mx = math.Inf(1)
+			break
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return s.Mesh.GlobalMax(mx)
+}
+
+// boundedPhi fails when φ left the physical band (diffuse-interface
+// overshoot beyond lim means the solve went unstable).
+func boundedPhi(s *core.Simulation, lim float64) error {
+	if mx := maxAbsPhi(s); mx > lim {
+		return fmt.Errorf("max|phi| = %g exceeds %g", mx, lim)
+	}
+	return nil
+}
+
+func bubbleScenario() Scenario {
+	return Scenario{
+		Name:        "bubble",
+		Description: "2D rising bubble: a light bubble under strong gravity in a heavy fluid",
+		PaperRef:    "Fig. 7 / Table I (application scaling benchmark)",
+		Build: func(pr Preset) Spec {
+			p := chns.DefaultParams()
+			p.Fr = 0.3
+			p.RhoMinus = 0.1
+			p.We = 50
+			cfg := core.Config{Dim: 2, Opt: chns.DefaultOptions(1e-3), RemeshEvery: 2}
+			switch pr {
+			case Smoke:
+				p.Cn = 0.08
+				cfg.BulkLevel, cfg.InterfaceLevel = 2, 4
+			case Full:
+				p.Cn = 0.03
+				cfg.BulkLevel, cfg.InterfaceLevel = 4, 7
+			default: // Bench, and the safe fallback for unknown presets
+				p.Cn = 0.05
+				cfg.BulkLevel, cfg.InterfaceLevel = 3, 6
+			}
+			cfg.Params = p
+			return Spec{Config: cfg, Phi0: func(x, y, z float64) float64 {
+				return chns.EquilibriumProfile(math.Hypot(x-0.5, y-0.3)-0.15, p.Cn)
+			}}
+		},
+		Validate: func(s *core.Simulation) error {
+			if err := boundedPhi(s, 1.2); err != nil {
+				return err
+			}
+			if d := s.CountDrops(-0.3); d != 1 {
+				return fmt.Errorf("bubble fragmented: %d components", d)
+			}
+			return nil
+		},
+	}
+}
+
+func swirlScenario() Scenario {
+	swirl := func(x, y, z, t float64) (float64, float64, float64) {
+		sx := math.Sin(math.Pi * x)
+		sy := math.Sin(math.Pi * y)
+		return 2 * sx * sx * sy * math.Cos(math.Pi*y), -2 * sx * math.Cos(math.Pi*x) * sy * sy, 0
+	}
+	return Scenario{
+		Name:        "swirl",
+		Description: "2D swirling-flow drop stretching with local-Cahn detection (CH block only)",
+		PaperRef:    "Fig. 5 (single-vortex validation, local vs uniform Cahn)",
+		Build: func(pr Preset) Spec {
+			p := chns.DefaultParams()
+			p.Pe = 1000
+			cfg := core.Config{
+				Dim: 2, Opt: chns.DefaultOptions(2.5e-3),
+				LocalCahn: true, Delta: -0.5, RemeshEvery: 4,
+				PrescribedVel: swirl,
+			}
+			switch pr {
+			case Smoke:
+				p.Cn = 0.04
+				cfg.BulkLevel, cfg.InterfaceLevel, cfg.FineLevel = 3, 4, 5
+				cfg.FineCn = 0.016
+			case Full:
+				p.Cn = 0.012
+				cfg.BulkLevel, cfg.InterfaceLevel, cfg.FineLevel = 4, 7, 8
+				cfg.FineCn = 0.005
+			default: // Bench, and the safe fallback for unknown presets
+				p.Cn = 0.02
+				cfg.BulkLevel, cfg.InterfaceLevel, cfg.FineLevel = 3, 5, 6
+				cfg.FineCn = 0.008
+			}
+			cfg.Params = p
+			return Spec{Config: cfg, Phi0: func(x, y, z float64) float64 {
+				return chns.EquilibriumProfile(math.Hypot(x-0.5, y-0.75)-0.15, p.Cn)
+			}}
+		},
+		Validate: func(s *core.Simulation) error {
+			if err := boundedPhi(s, 1.2); err != nil {
+				return err
+			}
+			if d := s.CountDrops(-0.3); d != 1 {
+				return fmt.Errorf("drop broke up early: %d components", d)
+			}
+			return nil
+		},
+	}
+}
+
+func jetScenario() Scenario {
+	return Scenario{
+		Name:        "jet",
+		Description: "3D jet atomization: a perturbed liquid ligament in axial shear thins and breaks up",
+		PaperRef:    "Sec. V / Fig. 9 (production jet-atomization run)",
+		Build: func(pr Preset) Spec {
+			p := chns.DefaultParams()
+			p.Re = 200
+			p.We = 20
+			p.Pe = 500
+			p.RhoMinus = 0.05
+			p.EtaMinus = 0.05
+			cfg := core.Config{
+				Dim: 3, Opt: chns.DefaultOptions(1e-3),
+				LocalCahn: true, Delta: -0.5, RemeshEvery: 2,
+			}
+			switch pr {
+			case Smoke:
+				p.Cn = 0.08
+				cfg.BulkLevel, cfg.InterfaceLevel, cfg.FineLevel = 2, 3, 4
+				cfg.FineCn = 0.04
+			case Full:
+				p.Cn = 0.04
+				cfg.BulkLevel, cfg.InterfaceLevel, cfg.FineLevel = 3, 5, 6
+				cfg.FineCn = 0.016
+			default: // Bench, and the safe fallback for unknown presets
+				p.Cn = 0.05
+				cfg.BulkLevel, cfg.InterfaceLevel, cfg.FineLevel = 2, 4, 5
+				cfg.FineCn = 0.02
+			}
+			cfg.Params = p
+			radius := func(x float64) float64 { return 0.10 + 0.035*math.Cos(4*math.Pi*x) }
+			return Spec{
+				Config: cfg,
+				Phi0: func(x, y, z float64) float64 {
+					r := math.Hypot(y-0.5, z-0.5)
+					return chns.EquilibriumProfile(r-radius(x), p.Cn)
+				},
+				Vel0: func(x, y, z float64) (float64, float64, float64) {
+					r := math.Hypot(y-0.5, z-0.5)
+					return 0.5 * math.Exp(-r*r/0.02), 0, 0
+				},
+			}
+		},
+		Validate: func(s *core.Simulation) error {
+			if err := boundedPhi(s, 1.2); err != nil {
+				return err
+			}
+			// At smoke scale the interface is too diffuse for a meaningful
+			// φ < -0.3 component count; the topology check needs bench+.
+			if s.PresetName != string(Smoke) {
+				if d := s.CountDrops(-0.3); d < 1 {
+					return fmt.Errorf("ligament vanished: %d components", d)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func spinodalScenario() Scenario {
+	// Deterministic multi-mode perturbation standing in for thermal
+	// noise: fixed wavevectors and phases so every run (and every rank
+	// count) sees bitwise the same initial field.
+	modes := [][3]float64{
+		{2, 3, 0.7}, {5, 2, 2.1}, {3, 7, 4.4}, {7, 5, 1.3}, {1, 6, 3.9}, {6, 1, 5.2},
+	}
+	perturb := func(x, y float64) float64 {
+		var v float64
+		for _, m := range modes {
+			v += math.Cos(2*math.Pi*(m[0]*x+m[1]*y) + m[2])
+		}
+		return 0.2 * v / float64(len(modes))
+	}
+	return Scenario{
+		Name:        "spinodal",
+		Description: "2D spinodal decomposition: a near-critical mixture phase-separates and coarsens (CH block only)",
+		PaperRef:    "beyond the paper (classic Cahn–Hilliard coarsening; exercises whole-domain adaptivity)",
+		Build: func(pr Preset) Spec {
+			p := chns.DefaultParams()
+			p.Pe = 200
+			cfg := core.Config{
+				Dim: 2, Opt: chns.DefaultOptions(1e-3), RemeshEvery: 2,
+				PrescribedVel: func(x, y, z, t float64) (float64, float64, float64) { return 0, 0, 0 },
+			}
+			switch pr {
+			case Smoke:
+				p.Cn = 0.1
+				cfg.BulkLevel, cfg.InterfaceLevel = 2, 3
+			case Full:
+				p.Cn = 0.025
+				cfg.BulkLevel, cfg.InterfaceLevel = 4, 7
+			default: // Bench, and the safe fallback for unknown presets
+				p.Cn = 0.05
+				cfg.BulkLevel, cfg.InterfaceLevel = 3, 5
+			}
+			cfg.Params = p
+			return Spec{Config: cfg, Phi0: func(x, y, z float64) float64 {
+				return perturb(x, y)
+			}}
+		},
+		Validate: func(s *core.Simulation) error {
+			return boundedPhi(s, 1.2)
+		},
+	}
+}
+
+func rtiScenario() Scenario {
+	return Scenario{
+		Name:        "rti",
+		Description: "2D Rayleigh–Taylor instability: a heavy fluid over a light one under gravity, seeded interface",
+		PaperRef:    "beyond the paper (canonical variable-density NSCH benchmark)",
+		Build: func(pr Preset) Spec {
+			p := chns.DefaultParams()
+			p.Re = 500
+			p.We = 500 // weak surface tension: the instability must grow
+			p.Pe = 300
+			p.Fr = 0.1 // strong gravity
+			p.RhoMinus = 0.3
+			cfg := core.Config{Dim: 2, Opt: chns.DefaultOptions(1e-3), RemeshEvery: 2}
+			switch pr {
+			case Smoke:
+				p.Cn = 0.08
+				cfg.BulkLevel, cfg.InterfaceLevel = 2, 4
+			case Full:
+				p.Cn = 0.015
+				cfg.BulkLevel, cfg.InterfaceLevel = 4, 8
+			default: // Bench, and the safe fallback for unknown presets
+				p.Cn = 0.03
+				cfg.BulkLevel, cfg.InterfaceLevel = 3, 6
+			}
+			cfg.Params = p
+			// Heavy phase (φ=+1, ρ=1) on top of the light one (ρ⁻=0.3);
+			// two seeded interface modes break the symmetry.
+			ifc := func(x float64) float64 {
+				return 0.5 + 0.03*math.Cos(2*math.Pi*x) + 0.015*math.Cos(6*math.Pi*x+1.1)
+			}
+			return Spec{Config: cfg, Phi0: func(x, y, z float64) float64 {
+				return chns.EquilibriumProfile(y-ifc(x), p.Cn)
+			}}
+		},
+		Validate: func(s *core.Simulation) error {
+			return boundedPhi(s, 1.2)
+		},
+	}
+}
+
+func splashScenario() Scenario {
+	return Scenario{
+		Name:        "splash",
+		Description: "2D drop impact: a liquid drop falls into a pool of the same liquid through a light gas",
+		PaperRef:    "beyond the paper (impact/splash; thin-film features drive local-Cahn detection)",
+		Build: func(pr Preset) Spec {
+			p := chns.DefaultParams()
+			p.Re = 250
+			p.We = 100
+			p.Pe = 300
+			p.Fr = 0.5
+			p.RhoMinus = 0.05
+			p.EtaMinus = 0.05
+			cfg := core.Config{Dim: 2, Opt: chns.DefaultOptions(1e-3), RemeshEvery: 2}
+			switch pr {
+			case Smoke:
+				p.Cn = 0.08
+				cfg.BulkLevel, cfg.InterfaceLevel = 2, 4
+			case Full:
+				p.Cn = 0.02
+				cfg.BulkLevel, cfg.InterfaceLevel, cfg.FineLevel = 4, 8, 9
+				cfg.LocalCahn, cfg.FineCn, cfg.Delta = true, 0.008, -0.5
+			default: // Bench, and the safe fallback for unknown presets
+				p.Cn = 0.04
+				cfg.BulkLevel, cfg.InterfaceLevel, cfg.FineLevel = 3, 6, 7
+				cfg.LocalCahn, cfg.FineCn, cfg.Delta = true, 0.016, -0.5
+			}
+			cfg.Params = p
+			// Liquid (φ=+1): the pool below y=0.25 united with a drop of
+			// radius 0.1 centred at (0.5, 0.6); the gas (φ=-1) fills the
+			// rest. Signed distance: negative inside the liquid union.
+			dist := func(x, y float64) float64 {
+				dPool := y - 0.25
+				dDrop := math.Hypot(x-0.5, y-0.6) - 0.1
+				return math.Min(dPool, dDrop)
+			}
+			return Spec{
+				Config: cfg,
+				Phi0: func(x, y, z float64) float64 {
+					return chns.EquilibriumProfile(-dist(x, y), p.Cn)
+				},
+				// Impact velocity confined to the drop's neighbourhood.
+				Vel0: func(x, y, z float64) (float64, float64, float64) {
+					r2 := (x-0.5)*(x-0.5) + (y-0.6)*(y-0.6)
+					return 0, -1.5 * math.Exp(-r2/(0.12*0.12)), 0
+				},
+			}
+		},
+		Validate: func(s *core.Simulation) error {
+			return boundedPhi(s, 1.2)
+		},
+	}
+}

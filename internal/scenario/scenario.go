@@ -1,0 +1,112 @@
+// Package scenario is the registry of named, self-describing flow cases:
+// each scenario packages the physics parameters, refinement policy,
+// initial phase field and (optionally) initial velocity of one workload
+// at three size presets, plus a cheap post-run validation. Drivers and
+// examples look cases up by name instead of hand-rolling configs, and
+// checkpoint meta records the (name, preset) pair so a restart can
+// rebuild the non-serializable Config through this registry.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"proteus/internal/core"
+	"proteus/internal/par"
+)
+
+// Preset selects a size class: smoke is a seconds-scale CI configuration,
+// bench the laptop-scale default of the examples, full the largest
+// configuration meant for real experiments.
+type Preset string
+
+const (
+	Smoke Preset = "smoke"
+	Bench Preset = "bench"
+	Full  Preset = "full"
+)
+
+// Presets lists every defined preset, smallest first.
+var Presets = []Preset{Smoke, Bench, Full}
+
+// ParsePreset validates a preset name.
+func ParsePreset(s string) (Preset, error) {
+	switch Preset(s) {
+	case Smoke, Bench, Full:
+		return Preset(s), nil
+	}
+	return "", fmt.Errorf("scenario: unknown preset %q (want smoke|bench|full)", s)
+}
+
+// Spec is a fully instantiated case: the solver/adaptivity configuration
+// plus the initial conditions.
+type Spec struct {
+	Config core.Config
+	Phi0   func(x, y, z float64) float64
+	// Vel0, when non-nil, initializes the velocity field (e.g. the jet's
+	// axial shear or the falling drop's impact velocity).
+	Vel0 func(x, y, z float64) (vx, vy, vz float64)
+}
+
+// Scenario is one registered case.
+type Scenario struct {
+	Name        string
+	Description string
+	// PaperRef names the figure/table of Saurabh et al. (IPDPS 2023) the
+	// case maps to, or the physics reference for cases beyond the paper.
+	PaperRef string
+	// Build instantiates the case at a preset.
+	Build func(pr Preset) Spec
+	// Validate checks cheap physical invariants after a (short) run; the
+	// CI smoke job calls it on every registered case. Collective-safe:
+	// it runs on every rank and must return rank-consistent results.
+	Validate func(s *core.Simulation) error
+}
+
+// New builds a simulation from the scenario at the given preset, applying
+// the initial velocity and stamping the scenario identity used by
+// checkpoint meta. Collective.
+func (sc Scenario) New(c *par.Comm, pr Preset) *core.Simulation {
+	sp := sc.Build(pr)
+	return sc.NewFromSpec(c, pr, sp)
+}
+
+// NewFromSpec is New for a caller that already built (and possibly
+// tweaked) the spec — the CLI's -localcahn override path. Collective.
+func (sc Scenario) NewFromSpec(c *par.Comm, pr Preset, sp Spec) *core.Simulation {
+	sim := core.New(c, sp.Config, sp.Phi0)
+	if sp.Vel0 != nil {
+		sim.Solver.SetVelocity(sp.Vel0)
+	}
+	sim.ScenarioName, sim.PresetName = sc.Name, string(pr)
+	return sim
+}
+
+var registry = map[string]Scenario{}
+
+// Register adds a scenario; duplicate or anonymous registrations panic.
+func Register(sc Scenario) {
+	if sc.Name == "" || sc.Build == nil {
+		panic("scenario: Register needs a name and a Build function")
+	}
+	if _, dup := registry[sc.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", sc.Name))
+	}
+	registry[sc.Name] = sc
+}
+
+// Get looks a scenario up by name.
+func Get(name string) (Scenario, bool) {
+	sc, ok := registry[name]
+	return sc, ok
+}
+
+// Names returns every registered name, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -108,6 +108,89 @@ func MigrateNodal(oldM, newM *mesh.Mesh, fields []Field) {
 	}
 }
 
+// MigrateKeyedNodal delivers externally held node records — owned-node
+// keys with their packed per-node values, e.g. read back from a
+// checkpoint — to their canonical owners under newM's partition in one
+// NBX round. The records may be distributed across ranks in any way
+// (each global node exactly once); destination values are bitwise copies.
+// packed holds the per-node values field-major in field order,
+// len(keys)*Σ Ndof entries; only Dst and Ndof of each Field are used.
+// Panics if a key is unknown to its target or an owned destination node
+// is left unfilled, so restoring a snapshot against the wrong forest
+// fails loudly instead of corrupting fields. Collective.
+func MigrateKeyedNodal(newM *mesh.Mesh, keys []mesh.NodeKey, packed []float64, fields []Field) {
+	c := newM.Comm
+	tot := 0
+	for _, f := range fields {
+		if len(f.Dst) < newM.NumLocal*f.Ndof {
+			panic("transfer: MigrateKeyedNodal destination vector length mismatch")
+		}
+		tot += f.Ndof
+	}
+	if tot > maxMigrateDofs {
+		panic(fmt.Sprintf("transfer: MigrateKeyedNodal moves %d dofs per node, max %d", tot, maxMigrateDofs))
+	}
+	if len(packed) != len(keys)*tot {
+		panic(fmt.Sprintf("transfer: MigrateKeyedNodal packed length %d != %d keys * %d dofs", len(packed), len(keys), tot))
+	}
+	spl := octree.GatherSplitters(c, newM.Elems)
+	me := c.Rank()
+	// Per-node fill tracking (not a count): a duplicate record must not
+	// mask a missing one, or an owned node would silently stay zero.
+	seen := make([]bool, newM.NumOwned)
+	filled := 0
+	deliver := func(k mesh.NodeKey, vals []float64) {
+		j, ok := newM.NodeIndex(k)
+		if !ok || j >= newM.NumOwned {
+			panic(fmt.Sprintf("transfer: keyed node %v not owned on its target rank %d", k, me))
+		}
+		if seen[j] {
+			panic(fmt.Sprintf("transfer: keyed node %v delivered twice — records are not a partition of the forest", k))
+		}
+		seen[j] = true
+		filled++
+		off := 0
+		for _, f := range fields {
+			copy(f.Dst[j*f.Ndof:(j+1)*f.Ndof], vals[off:off+f.Ndof])
+			off += f.Ndof
+		}
+	}
+	perRank := map[int][]nodePacket{}
+	for i, k := range keys {
+		r := ownerOfKey(spl, newM.Dim, k)
+		if r == me {
+			deliver(k, packed[i*tot:(i+1)*tot])
+			continue
+		}
+		var p nodePacket
+		p.Key = k
+		copy(p.V[:tot], packed[i*tot:(i+1)*tot])
+		perRank[r] = append(perRank[r], p)
+	}
+	if c.Size() > 1 {
+		dests := make([]int, 0, len(perRank))
+		bufs := make([][]nodePacket, 0, len(perRank))
+		for r, lst := range perRank {
+			dests = append(dests, r)
+			bufs = append(bufs, lst)
+		}
+		_, recvd := par.NBXExchange(c, dests, bufs)
+		for _, batch := range recvd {
+			for i := range batch {
+				deliver(batch[i].Key, batch[i].V[:tot])
+			}
+		}
+	} else if len(perRank) > 0 {
+		panic("transfer: MigrateKeyedNodal routed nodes off a single rank")
+	}
+	if got := par.Allreduce(c, filled == newM.NumOwned, func(a, b bool) bool { return a && b }); !got {
+		panic(fmt.Sprintf("transfer: keyed migration filled %d of %d owned nodes — records do not cover the forest", filled, newM.NumOwned))
+	}
+	for _, f := range fields {
+		newM.GhostRead(f.Dst, f.Ndof)
+	}
+}
+
 // elemPacket carries one element's octant key and value; the key is
 // verified on the receiver against its local leaf list.
 type elemPacket struct {

@@ -1,0 +1,23 @@
+package vtk
+
+import "proteus/internal/mesh"
+
+// WriteFields writes the standard CHNS field set under path base: φ
+// (extracted from the interleaved φ/μ vector), μ, velocity, pressure and
+// the elemental Cahn number. This is the one output snippet every driver
+// and example shares. Collective.
+func WriteFields(m *mesh.Mesh, base string, phiMu, vel, p, elemCn []float64) error {
+	phi := m.NewVec(1)
+	mu := m.NewVec(1)
+	for i := 0; i < m.NumLocal; i++ {
+		phi[i] = phiMu[2*i]
+		mu[i] = phiMu[2*i+1]
+	}
+	return Write(m, base, []Field{
+		{Name: "phi", Ndof: 1, Data: phi},
+		{Name: "mu", Ndof: 1, Data: mu},
+		{Name: "velocity", Ndof: m.Dim, Data: vel},
+		{Name: "pressure", Ndof: 1, Data: p},
+		{Name: "cahn", Ndof: 1, Data: elemCn, Elemental: true},
+	})
+}
