@@ -326,6 +326,78 @@ func BenchmarkAssemblyWarm_BAIJ(b *testing.B)   { benchAssemblyPlan(b, fem.Layou
 func BenchmarkAssemblyWarm_Zipped(b *testing.B) { benchAssemblyPlan(b, fem.LayoutZipped, true) }
 
 // ---------------------------------------------------------------------------
+// Vector assembly sharding — the Table I "Vec" columns (PR 5): the serial
+// AssembleVector element loop versus the planned store-and-gather path,
+// which shards the element loop and the per-node gather across the worker
+// pool while staying bitwise identical to serial (canonical gather order)
+// and allocation-free when warm.
+// ---------------------------------------------------------------------------
+
+func benchVectorAssembly(b *testing.B, planned bool, workers int) {
+	par.Run(1, func(c *par.Comm) {
+		tree := interfaceTree(3, 2, 4)
+		local := make([]sfc.Octant, tree.Len())
+		copy(local, tree.Leaves)
+		m := mesh.New(c, 3, local)
+		const ndof = 3 // velocity-like RHS
+		asm := fem.NewAssembler(m, ndof)
+		r := asm.Ref
+		npe := r.NPE
+		// A representative RHS kernel: gather a nodal field, evaluate a
+		// coefficient, quadrature loop — with per-worker scratch.
+		field := m.NewVec(ndof)
+		for i := range field {
+			field[i] = math.Sin(0.01 * float64(i))
+		}
+		type scr struct{ fC, comp []float64 }
+		ws := make([]scr, workers)
+		for i := range ws {
+			ws[i] = scr{fC: make([]float64, npe*ndof), comp: make([]float64, npe)}
+		}
+		kern := func(w, e int, h float64, fe []float64) {
+			sc := &ws[w]
+			m.GatherElem(e, field, ndof, sc.fC)
+			vol := h * h * h
+			for g := 0; g < r.NG; g++ {
+				wg := r.W[g] * vol
+				for d := 0; d < ndof; d++ {
+					for a := 0; a < npe; a++ {
+						sc.comp[a] = sc.fC[a*ndof+d]
+					}
+					f := r.AtGauss(g, sc.comp) + r.GradAtGauss(g, d, h, sc.comp)
+					for a := 0; a < npe; a++ {
+						fe[a*ndof+d] += wg * f * r.N[g*npe+a]
+					}
+				}
+			}
+		}
+		v := m.NewVec(ndof)
+		b.ReportMetric(float64(m.NumElems()), "elements")
+		b.ReportAllocs()
+		if planned {
+			asm.SetWorkers(workers)
+			pool := par.NewPool(workers)
+			defer pool.Close()
+			asm.SetPool(pool)
+			asm.AssembleVectorPlanned(v, kern) // cold: builds the vector plan
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				asm.AssembleVectorPlanned(v, kern)
+			}
+			return
+		}
+		serial := func(e int, h float64, fe []float64) { kern(0, e, h, fe) }
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			asm.AssembleVector(v, serial)
+		}
+	})
+}
+
+func BenchmarkVectorAssemblySerial(b *testing.B)  { benchVectorAssembly(b, false, 1) }
+func BenchmarkVectorAssemblyPlanned(b *testing.B) { benchVectorAssembly(b, true, runtimeWorkers()) }
+
+// ---------------------------------------------------------------------------
 // Solve persistence — the Table I "Solve" column treatment (PR 2): warm
 // KSP solves on a persistent workspace, with SpMV, dots and axpy kernels
 // sharded across a worker pool. Serial and sharded paths are bitwise

@@ -38,6 +38,7 @@ func main() {
 	statsJSON := flag.String("stats-json", "", "dump machine-readable run stats (timers, elem counts, remesh counts) to this path")
 	table2 := flag.Bool("table2", false, "print the Table II solver configuration and exit")
 	localCahn := flag.Bool("localcahn", true, "enable local-Cahn detection where the scenario uses it")
+	vecWorkers := flag.Int("vec-workers", 0, "RHS vector-assembly shards (0: match the matrix element loop, 1: serial ablation; results are bitwise identical at any value)")
 	list := flag.Bool("list", false, "list registered scenarios and exit")
 	flag.Parse()
 
@@ -82,6 +83,9 @@ func main() {
 	}
 	if !*localCahn {
 		spec.Config.LocalCahn = false
+	}
+	if *vecWorkers > 0 {
+		spec.Config.Opt.VecWorkers = *vecWorkers
 	}
 
 	par.Run(*ranks, func(c *par.Comm) {

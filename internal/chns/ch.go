@@ -42,8 +42,9 @@ type chScratch struct {
 	jblocks [][]float64 // dof-pair blocks for the node-major Jacobian path
 }
 
-// chResScratch is the (serial) CH residual element-loop scratch, held on
-// the Solver so Residual allocates nothing per Newton iteration.
+// chResScratch is one element-loop worker's private CH residual scratch,
+// held on the Solver (one per shard) so the sharded Residual allocates
+// nothing per Newton iteration and never shares mutable buffers.
 type chResScratch struct {
 	ops                          *chOps
 	pm, pmOld, vel               []float64
@@ -137,44 +138,40 @@ func (p *chProblem) Residual(x, res []float64) {
 	m.GhostRead(x, 2)
 	r := s.asmCH.Ref
 	npe := r.NPE
-	sc := s.chRes
-	ops := sc.ops
-	pm, pmOld, vel := sc.pm, sc.pmOld, sc.vel
-	phiNew, muNew := sc.phiNew, sc.muNew
-	phiOld, muOld := sc.phiOld, sc.muOld
-	psi1, tmp, load := sc.psi1, sc.tmp, sc.load
-	s.asmCH.AssembleVector(res, func(e int, h float64, fe []float64) {
-		p.gatherCorners(e, x, pm, vel)
-		m.GatherElem(e, p.old, 2, pmOld)
+	s.asmCH.AssembleVectorPlanned(res, func(w, e int, h float64, fe []float64) {
+		sc := s.chRes[w]
+		ops := sc.ops
+		p.gatherCorners(e, x, sc.pm, sc.vel)
+		m.GatherElem(e, p.old, 2, sc.pmOld)
 		for a := 0; a < npe; a++ {
-			phiNew[a] = pm[a*2]
-			muNew[a] = pm[a*2+1]
-			phiOld[a] = pmOld[a*2]
-			muOld[a] = pmOld[a*2+1]
-			psi1[a] = PsiPrime(phiNew[a])
+			sc.phiNew[a] = sc.pm[a*2]
+			sc.muNew[a] = sc.pm[a*2+1]
+			sc.phiOld[a] = sc.pmOld[a*2]
+			sc.muOld[a] = sc.pmOld[a*2+1]
+			sc.psi1[a] = PsiPrime(sc.phiNew[a])
 		}
-		p.buildOps(e, h, pm, vel, ops, s.asmCH.Work())
+		p.buildOps(e, h, sc.pm, sc.vel, ops, s.asmCH.WorkN(w))
 		cn := s.ElemCn[e]
 		diff := 1 / (s.Par.Pe * cn)
 		th, th1 := p.theta, 1-p.theta
 		// R_phi = M(phi-phiOld)/dt + th[C phi + D Km mu]
 		//       + (1-th)[C phiOld + D Km muOld]
-		addMatVec(fe, 0, 2, ops.Me, phiNew, 1/p.dt, tmp, npe)
-		addMatVec(fe, 0, 2, ops.Me, phiOld, -1/p.dt, tmp, npe)
-		addMatVec(fe, 0, 2, ops.Ce, phiNew, th, tmp, npe)
-		addMatVec(fe, 0, 2, ops.Kme, muNew, th*diff, tmp, npe)
-		addMatVec(fe, 0, 2, ops.Ce, phiOld, th1, tmp, npe)
-		addMatVec(fe, 0, 2, ops.Kme, muOld, th1*diff, tmp, npe)
+		addMatVec(fe, 0, 2, ops.Me, sc.phiNew, 1/p.dt, sc.tmp, npe)
+		addMatVec(fe, 0, 2, ops.Me, sc.phiOld, -1/p.dt, sc.tmp, npe)
+		addMatVec(fe, 0, 2, ops.Ce, sc.phiNew, th, sc.tmp, npe)
+		addMatVec(fe, 0, 2, ops.Kme, sc.muNew, th*diff, sc.tmp, npe)
+		addMatVec(fe, 0, 2, ops.Ce, sc.phiOld, th1, sc.tmp, npe)
+		addMatVec(fe, 0, 2, ops.Kme, sc.muOld, th1*diff, sc.tmp, npe)
 		// R_mu = M mu - F(psi'(phi)) - Cn^2 K phi
-		addMatVec(fe, 1, 2, ops.Me, muNew, 1, tmp, npe)
-		for i := range load {
-			load[i] = 0
+		addMatVec(fe, 1, 2, ops.Me, sc.muNew, 1, sc.tmp, npe)
+		for i := range sc.load {
+			sc.load[i] = 0
 		}
-		r.LoadVector(h, psi1, 1, load)
+		r.LoadVector(h, sc.psi1, 1, sc.load)
 		for a := 0; a < npe; a++ {
-			fe[a*2+1] -= load[a]
+			fe[a*2+1] -= sc.load[a]
 		}
-		addMatVec(fe, 1, 2, ops.Ke, phiNew, -cn*cn, tmp, npe)
+		addMatVec(fe, 1, 2, ops.Ke, sc.phiNew, -cn*cn, sc.tmp, npe)
 	})
 }
 
@@ -303,13 +300,23 @@ func (s *Solver) InitMuFromPhi() {
 			fe[a] += tmp[a]
 		}
 	})
-	mass := s.asmS.NewMatrix(fem.LayoutBAIJ)
-	s.asmS.AssembleMatrix(mass, fem.LayoutBAIJ, func(w, e int, h float64, ke []float64) {
-		r.Mass(h, 1, ke)
-	})
+	// The scalar mass operator and its solver persist on the Solver like
+	// the per-stage KSP state: the matrix is assembled once per mesh
+	// generation and the KSP keeps its warm Krylov workspace across
+	// calls; Rebind/SetMeshEpoch drop the mesh-keyed matrix and PC.
+	if s.chMassMat == nil {
+		s.chMassMat = s.asmS.NewMatrix(fem.LayoutBAIJ)
+		s.asmS.AssembleMatrix(s.chMassMat, fem.LayoutBAIJ, func(w, e int, h float64, ke []float64) {
+			r.Mass(h, 1, ke)
+		})
+		s.chMassPC = la.NewPCJacobi(s.chMassMat)
+	}
+	if s.chMassKSP == nil {
+		s.chMassKSP = &la.KSP{Type: la.CG, Rtol: 1e-10}
+	}
+	s.chMassKSP.Op, s.chMassKSP.PC, s.chMassKSP.Red, s.chMassKSP.Pool = s.chMassMat, s.chMassPC, m, s.pool
 	mu := m.NewVec(1)
-	ksp := &la.KSP{Op: mass, PC: la.NewPCJacobi(mass), Red: m, Type: la.CG, Rtol: 1e-10}
-	ksp.Solve(rhs, mu)
+	s.chMassKSP.Solve(rhs, mu)
 	m.GhostRead(mu, 1)
 	for i := 0; i < m.NumLocal; i++ {
 		s.PhiMu[i*2+1] = mu[i]

@@ -376,6 +376,60 @@ func TestLocalCahnFieldUsedPerElement(t *testing.T) {
 	}
 }
 
+// TestStepBitwiseAcrossVecWorkers pins the sharded-RHS contract at the
+// solver level: a full CH+NS+PP+VU step is bitwise identical for any
+// vector-assembly shard count (the planned gather sums contributions in
+// canonical order, and every stage kernel keeps per-worker scratch), so
+// Options.VecWorkers is a pure performance knob.
+func TestStepBitwiseAcrossVecWorkers(t *testing.T) {
+	run := func(vecWorkers, ranks int) map[mesh.NodeKey][2]float64 {
+		out := map[mesh.NodeKey][2]float64{}
+		par.Run(ranks, func(c *par.Comm) {
+			m := uniformMesh(c, 2, 3)
+			par2 := DefaultParams()
+			par2.Cn = 0.1
+			par2.Fr = 1
+			opt := DefaultOptions(2e-3)
+			opt.VecWorkers = vecWorkers
+			s := NewSolver(m, par2, opt)
+			s.SetPhi(func(x, y, z float64) float64 {
+				return EquilibriumProfile(0.2-math.Hypot(x-0.5, y-0.45), par2.Cn)
+			})
+			s.InitMuFromPhi()
+			s.Step()
+			type kv struct {
+				K mesh.NodeKey
+				V [2]float64
+			}
+			var local []kv
+			for i := 0; i < m.NumOwned; i++ {
+				local = append(local, kv{m.Keys[i], [2]float64{s.PhiMu[2*i], s.Vel[2*i]}})
+			}
+			all := par.Allgatherv(c, local)
+			if c.Rank() == 0 {
+				for _, e := range all {
+					out[e.K] = e.V
+				}
+			}
+		})
+		return out
+	}
+	for _, ranks := range []int{1, 2} {
+		base := run(1, ranks)
+		for _, nw := range []int{2, 4} {
+			got := run(nw, ranks)
+			if len(got) != len(base) {
+				t.Fatalf("ranks=%d nw=%d: node sets differ", ranks, nw)
+			}
+			for k, v := range base {
+				if got[k] != v {
+					t.Fatalf("ranks=%d nw=%d node %v: serial %v sharded %v", ranks, nw, k, v, got[k])
+				}
+			}
+		}
+	}
+}
+
 func Test3DSingleStep(t *testing.T) {
 	par.Run(2, func(c *par.Comm) {
 		m := uniformMesh(c, 3, 2)

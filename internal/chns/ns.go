@@ -34,6 +34,36 @@ func newNSScratch(npe, ng, dim int) nsScratch {
 	}
 }
 
+// nsVecScratch is one element-loop worker's private NS RHS-kernel
+// scratch, hoisted on the Solver so the sharded vector assembly runs
+// race-free with zero per-step and per-element allocation.
+type nsVecScratch struct {
+	pm, velC, pC             []float64
+	rho, eta, phiC, muC, tmp []float64
+	scalarOld, visc          []float64
+	rvel                     []float64
+	comp                     []float64
+	pGrad                    []float64
+}
+
+func newNSVecScratch(npe, dim int) nsVecScratch {
+	return nsVecScratch{
+		pm:        make([]float64, npe*2),
+		velC:      make([]float64, npe*dim),
+		pC:        make([]float64, npe),
+		rho:       make([]float64, npe),
+		eta:       make([]float64, npe),
+		phiC:      make([]float64, npe),
+		muC:       make([]float64, npe),
+		tmp:       make([]float64, npe),
+		scalarOld: make([]float64, npe*npe),
+		visc:      make([]float64, npe*npe),
+		rvel:      make([]float64, npe*dim),
+		comp:      make([]float64, npe),
+		pGrad:     make([]float64, dim),
+	}
+}
+
 // StepNS solves the linearized semi-implicit momentum block for the
 // tentative velocity v* (Table II: bcgs + bjacobi). The convection
 // velocity and the mixture properties are evaluated from the current φ
@@ -137,60 +167,48 @@ func (s *Solver) StepNS() {
 	}
 	s.T.NS.Matrix += time.Since(tMat)
 
-	// RHS (serial element loop; scratch hoisted out of the closure).
+	// RHS: sharded planned vector assembly with per-worker scratch.
 	tVec := time.Now()
 	if s.nsRHS == nil {
 		s.nsRHS = m.NewVec(dim)
 	}
 	rhs := s.nsRHS
-	pm := make([]float64, npe*2)
-	velC := make([]float64, npe*dim)
-	pC := make([]float64, npe)
-	rho := make([]float64, npe)
-	eta := make([]float64, npe)
-	phiC := make([]float64, npe)
-	muC := make([]float64, npe)
-	tmp := make([]float64, npe)
-	scalarOld := make([]float64, npe*npe)
-	rvel := make([]float64, npe*dim)
-	visc := make([]float64, npe*npe)
-	comp := make([]float64, npe)
-	pGrad := make([]float64, dim)
-	s.asmVel.AssembleVector(rhs, func(e int, h float64, fe []float64) {
-		m.GatherElem(e, s.PhiMu, 2, pm)
-		m.GatherElem(e, s.Vel, dim, velC)
-		m.GatherElem(e, s.P, 1, pC)
+	s.asmVel.AssembleVectorPlanned(rhs, func(w, e int, h float64, fe []float64) {
+		sc := &s.nsVec[w]
+		m.GatherElem(e, s.PhiMu, 2, sc.pm)
+		m.GatherElem(e, s.Vel, dim, sc.velC)
+		m.GatherElem(e, s.P, 1, sc.pC)
 		for a := 0; a < npe; a++ {
-			phiC[a] = pm[a*2]
-			muC[a] = pm[a*2+1]
-			rho[a] = s.Par.Density(phiC[a])
-			eta[a] = s.Par.Viscosity(phiC[a])
+			sc.phiC[a] = sc.pm[a*2]
+			sc.muC[a] = sc.pm[a*2+1]
+			sc.rho[a] = s.Par.Density(sc.phiC[a])
+			sc.eta[a] = s.Par.Viscosity(sc.phiC[a])
 		}
 		// Old-velocity terms: M_ρ vⁿ/dt - (1-θ)[C_ρ(vⁿ)+K_η/Re] vⁿ.
-		for i := range scalarOld {
-			scalarOld[i] = 0
+		for i := range sc.scalarOld {
+			sc.scalarOld[i] = 0
 		}
-		r.WeightedMass(h, rho, 1/dt, scalarOld)
+		r.WeightedMass(h, sc.rho, 1/dt, sc.scalarOld)
 		for a := 0; a < npe; a++ {
 			for d := 0; d < dim; d++ {
-				rvel[a*dim+d] = rho[a] * velC[a*dim+d]
+				sc.rvel[a*dim+d] = sc.rho[a] * sc.velC[a*dim+d]
 			}
 		}
-		r.Convection(h, rvel, -(1 - th), scalarOld)
-		for i := range visc {
-			visc[i] = 0
+		r.Convection(h, sc.rvel, -(1 - th), sc.scalarOld)
+		for i := range sc.visc {
+			sc.visc[i] = 0
 		}
-		r.WeightedStiffness(h, eta, -(1-th)/s.Par.Re, visc)
-		for i := range scalarOld {
-			scalarOld[i] += visc[i]
+		r.WeightedStiffness(h, sc.eta, -(1-th)/s.Par.Re, sc.visc)
+		for i := range sc.scalarOld {
+			sc.scalarOld[i] += sc.visc[i]
 		}
 		for d := 0; d < dim; d++ {
 			for a := 0; a < npe; a++ {
-				comp[a] = velC[a*dim+d]
+				sc.comp[a] = sc.velC[a*dim+d]
 			}
-			blas.Dgemv(npe, npe, 1, scalarOld, comp, 0, tmp)
+			blas.Dgemv(npe, npe, 1, sc.scalarOld, sc.comp, 0, sc.tmp)
 			for a := 0; a < npe; a++ {
-				fe[a*dim+d] += tmp[a]
+				fe[a*dim+d] += sc.tmp[a]
 			}
 		}
 		// Quadrature-point force terms.
@@ -202,17 +220,17 @@ func (s *Solver) StepNS() {
 			vol *= h
 		}
 		for g := 0; g < r.NG; g++ {
-			w := r.W[g] * vol
+			wg := r.W[g] * vol
 			var gphi, gmu, jv [3]float64
 			for d := 0; d < dim; d++ {
-				gphi[d] = r.GradAtGauss(g, d, h, phiC)
-				gmu[d] = r.GradAtGauss(g, d, h, muC)
+				gphi[d] = r.GradAtGauss(g, d, h, sc.phiC)
+				gmu[d] = r.GradAtGauss(g, d, h, sc.muC)
 			}
-			phiG := r.AtGauss(g, phiC)
+			phiG := r.AtGauss(g, sc.phiC)
 			mobG := s.Par.Mobility(phiG)
 			rhoG := s.Par.Density(phiG)
 			for d := 0; d < dim; d++ {
-				pGrad[d] = r.GradAtGauss(g, d, h, pC)
+				sc.pGrad[d] = r.GradAtGauss(g, d, h, sc.pC)
 				jv[d] = jfc * mobG * gmu[d]
 			}
 			for a := 0; a < npe; a++ {
@@ -225,7 +243,7 @@ func (s *Solver) StepNS() {
 					}
 					// Pressure gradient (old pressure, 1/We scaling as in
 					// the non-dimensional momentum equation).
-					f -= na * pGrad[d] / s.Par.We
+					f -= na * sc.pGrad[d] / s.Par.We
 					// Gravity.
 					if s.Par.Fr > 0 {
 						f += na * rhoG * s.Par.GravityDir[d] / s.Par.Fr
@@ -235,12 +253,12 @@ func (s *Solver) StepNS() {
 					for dd := 0; dd < dim; dd++ {
 						comp2 := 0.0
 						for a2 := 0; a2 < npe; a2++ {
-							comp2 += r.DN[(g*npe+a2)*dim+dd] / h * velC[a2*dim+d]
+							comp2 += r.DN[(g*npe+a2)*dim+dd] / h * sc.velC[a2*dim+d]
 						}
 						jdv += jv[dd] * comp2
 					}
 					f -= na * jdv
-					fe[a*dim+d] += w * f
+					fe[a*dim+d] += wg * f
 				}
 			}
 		}

@@ -7,19 +7,26 @@ import (
 	"proteus/internal/la"
 )
 
-// ppScratch is one element-loop worker's private pressure-Poisson
-// matrix-kernel scratch.
+// ppScratch is one element-loop worker's private pressure-Poisson kernel
+// scratch: pm/invRho/cg serve the matrix kernel, velC/comp the
+// divergence RHS kernel. Hoisting velC and comp here (instead of a
+// shared capture and a per-element allocation) is what lets the vector
+// assembly shard race-free.
 type ppScratch struct {
 	pm     []float64
 	invRho []float64
 	cg     []float64
+	velC   []float64
+	comp   []float64
 }
 
-func newPPScratch(npe, ng int) ppScratch {
+func newPPScratch(npe, ng, dim int) ppScratch {
 	return ppScratch{
 		pm:     make([]float64, npe*2),
 		invRho: make([]float64, npe),
 		cg:     make([]float64, ng),
+		velC:   make([]float64, npe*dim),
+		comp:   make([]float64, npe),
 	}
 }
 
@@ -43,8 +50,6 @@ func (s *Solver) StepPP() []float64 {
 	npe := r.NPE
 	m.GhostRead(s.PhiMu, 2)
 	m.GhostRead(s.Vel, dim)
-
-	velC := make([]float64, npe*dim)
 
 	// Persistent operator: allocated once per mesh, Zero()+reassembled
 	// through the warm plan on later steps.
@@ -82,25 +87,25 @@ func (s *Solver) StepPP() []float64 {
 		s.ppRHS = m.NewVec(1)
 	}
 	rhs := s.ppRHS
-	s.asmS.AssembleVector(rhs, func(e int, h float64, fe []float64) {
-		m.GatherElem(e, s.Vel, dim, velC)
+	s.asmS.AssembleVectorPlanned(rhs, func(w, e int, h float64, fe []float64) {
+		sc := &s.ppScr[w]
+		m.GatherElem(e, s.Vel, dim, sc.velC)
 		vol := 1.0
 		for d := 0; d < dim; d++ {
 			vol *= h
 		}
-		comp := make([]float64, npe)
 		for g := 0; g < r.NG; g++ {
-			w := r.W[g] * vol
+			wg := r.W[g] * vol
 			var div float64
 			for d := 0; d < dim; d++ {
 				for a := 0; a < npe; a++ {
-					comp[a] = velC[a*dim+d]
+					sc.comp[a] = sc.velC[a*dim+d]
 				}
-				div += r.GradAtGauss(g, d, h, comp)
+				div += r.GradAtGauss(g, d, h, sc.comp)
 			}
 			f := -div / s.Opt.Dt
 			for a := 0; a < npe; a++ {
-				fe[a] += w * f * r.N[g*npe+a]
+				fe[a] += wg * f * r.N[g*npe+a]
 			}
 		}
 	})

@@ -76,6 +76,12 @@ type Options struct {
 	LinTol float64
 	// NonlinTol is the Newton tolerance (paper: 1e-10).
 	NonlinTol float64
+	// VecWorkers pins the shard count of the planned RHS/residual vector
+	// assemblies (0: match the matrix element loop; 1: the serial
+	// ablation). Any value produces bitwise-identical results — the
+	// vector plan gathers contributions in canonical order — so this is
+	// purely a performance knob.
+	VecWorkers int
 }
 
 // DefaultOptions mirrors the paper's production configuration (stage 2).
@@ -132,6 +138,9 @@ type Solver struct {
 	chPC       *la.PCBJacobiILU0
 	chProb     chProblem
 	chOld      []float64
+	chMassMat  *la.BSRMat
+	chMassKSP  *la.KSP
+	chMassPC   *la.PCJacobi
 	nsKSP      *la.KSP
 	nsPC       *la.PCBJacobiILU0
 	nsRHS      []float64
@@ -147,12 +156,17 @@ type Solver struct {
 	vuBlockPC  *la.PCJacobi
 	vuBlockRHS []float64
 
-	// Per-worker kernel scratch for the sharded element loop.
-	chRes *chResScratch
+	// Per-worker kernel scratch for the sharded element loops: matrix
+	// kernels and vector/residual kernels each keep one private copy per
+	// shard, so no stage kernel allocates per element or shares mutable
+	// buffers across workers.
+	chRes []*chResScratch
 	chScr []chScratch
 	nsScr []nsScratch
+	nsVec []nsVecScratch
 	ppScr []ppScratch
 	vuScr [][]float64 // baseline block-VU scalar mass per worker
+	vuVec []vuScratch
 
 	// lumpOnes is the constant all-ones element vector of the lumped-mass
 	// kernel (hoisted out of the per-element callback).
@@ -180,6 +194,11 @@ func NewSolver(m *mesh.Mesh, prm Params, opt Options) *Solver {
 	s.asmCH.SetPool(s.pool)
 	s.asmVel.SetPool(s.pool)
 	s.asmS.SetPool(s.pool)
+	if opt.VecWorkers > 0 {
+		s.asmCH.SetVecWorkers(opt.VecWorkers)
+		s.asmVel.SetVecWorkers(opt.VecWorkers)
+		s.asmS.SetVecWorkers(opt.VecWorkers)
+	}
 	s.initScratch()
 	return s
 }
@@ -199,7 +218,22 @@ func (s *Solver) initScratch() {
 	npe := s.asmCH.Ref.NPE
 	ng := s.asmCH.Ref.NG
 	dim := s.M.Dim
-	s.chRes = newCHResScratch(npe, ng, dim)
+	// Each scratch pool is sized for the assembler(s) whose shards index
+	// it, max'd with Opt.VecWorkers: an explicit vector shard count can
+	// push past the matrix worker count.
+	nw := func(asms ...*fem.Assembler) int {
+		n := s.Opt.VecWorkers
+		for _, a := range asms {
+			if w := a.Workers(); w > n {
+				n = w
+			}
+		}
+		return n
+	}
+	s.chRes = make([]*chResScratch, nw(s.asmCH))
+	for i := range s.chRes {
+		s.chRes[i] = newCHResScratch(npe, ng, dim)
+	}
 	s.chScr = make([]chScratch, s.asmCH.Workers())
 	for i := range s.chScr {
 		s.chScr[i] = newCHScratch(npe, ng, dim)
@@ -208,13 +242,21 @@ func (s *Solver) initScratch() {
 	for i := range s.nsScr {
 		s.nsScr[i] = newNSScratch(npe, ng, dim)
 	}
-	s.ppScr = make([]ppScratch, s.asmS.Workers())
+	s.nsVec = make([]nsVecScratch, nw(s.asmVel))
+	for i := range s.nsVec {
+		s.nsVec[i] = newNSVecScratch(npe, dim)
+	}
+	s.ppScr = make([]ppScratch, nw(s.asmS))
 	for i := range s.ppScr {
-		s.ppScr[i] = newPPScratch(npe, ng)
+		s.ppScr[i] = newPPScratch(npe, ng, dim)
 	}
 	s.vuScr = make([][]float64, s.asmVel.Workers())
 	for i := range s.vuScr {
 		s.vuScr[i] = make([]float64, npe*npe)
+	}
+	s.vuVec = make([]vuScratch, nw(s.asmS, s.asmVel))
+	for i := range s.vuVec {
+		s.vuVec[i] = newVUScratch(npe, dim)
 	}
 	s.lumpOnes = make([]float64, npe)
 	for i := range s.lumpOnes {
@@ -239,6 +281,7 @@ func (s *Solver) SetMeshEpoch(e uint64) {
 	// Drop every per-stage solver object keyed to the old operators: the
 	// next step recreates them against the new-mesh matrices.
 	s.chNewton, s.chPC, s.chOld = nil, nil, nil
+	s.chMassMat, s.chMassKSP, s.chMassPC = nil, nil, nil
 	s.nsKSP, s.nsPC, s.nsRHS = nil, nil, nil
 	s.ppKSP, s.ppPC, s.ppRHS, s.ppPsi = nil, nil, nil, nil
 	s.vuKSP, s.vuRHS, s.vuComp, s.vuNewVel = nil, nil, nil, nil
@@ -278,6 +321,7 @@ func (s *Solver) Rebind(m *mesh.Mesh, epoch uint64) {
 	// KSP/Newton objects and the pool stay.
 	s.chMat, s.nsMat, s.ppMat, s.vuBlockMat = nil, nil, nil, nil
 	s.vuMass, s.vuMassPC = nil, nil
+	s.chMassMat, s.chMassPC = nil, nil
 	s.chPC, s.nsPC, s.ppPC, s.vuBlockPC = nil, nil, nil, nil
 	s.chOld = nil
 	s.nsRHS = nil
@@ -325,7 +369,7 @@ func (s *Solver) PhiMass() float64 {
 // lumpedMass returns the nodal lumped mass vector (owned+ghost).
 func (s *Solver) lumpedMass() []float64 {
 	v := s.M.NewVec(1)
-	s.asmS.AssembleVector(v, func(e int, h float64, fe []float64) {
+	s.asmS.AssembleVectorPlanned(v, func(w, e int, h float64, fe []float64) {
 		s.asmS.Ref.LoadVector(h, s.lumpOnes, 1, fe)
 	})
 	return v

@@ -8,6 +8,24 @@ import (
 	"proteus/internal/la"
 )
 
+// vuScratch is one element-loop worker's private velocity-update
+// RHS-kernel scratch, hoisted on the Solver so the sharded vector
+// assembly runs race-free with zero per-element allocation.
+type vuScratch struct {
+	pm, velC, psiC []float64
+	comp, phiC     []float64
+}
+
+func newVUScratch(npe, dim int) vuScratch {
+	return vuScratch{
+		pm:   make([]float64, npe*2),
+		velC: make([]float64, npe*dim),
+		psiC: make([]float64, npe),
+		comp: make([]float64, npe),
+		phiC: make([]float64, npe),
+	}
+}
+
 // StepVU corrects the tentative velocity to its solenoidal projection
 // (Table II: cg + jacobi):
 //
@@ -28,33 +46,29 @@ func (s *Solver) StepVU(psi []float64) {
 	m.GhostRead(s.PhiMu, 2)
 	m.GhostRead(s.Vel, dim)
 
-	pm := make([]float64, npe*2)
-	velC := make([]float64, npe*dim)
-	psiC := make([]float64, npe)
-
-	// Elemental RHS for component d: ∫ N (v*_d - dt (1/ρ) ψ_,d).
-	emitComp := func(e int, h float64, d int, fe []float64, stride, off int) {
-		m.GatherElem(e, s.PhiMu, 2, pm)
-		m.GatherElem(e, s.Vel, dim, velC)
-		m.GatherElem(e, psi, 1, psiC)
+	// Elemental RHS for component d: ∫ N (v*_d - dt (1/ρ) ψ_,d), with
+	// worker w's private scratch.
+	emitComp := func(w, e int, h float64, d int, fe []float64, stride, off int) {
+		sc := &s.vuVec[w]
+		m.GatherElem(e, s.PhiMu, 2, sc.pm)
+		m.GatherElem(e, s.Vel, dim, sc.velC)
+		m.GatherElem(e, psi, 1, sc.psiC)
 		vol := 1.0
 		for dd := 0; dd < dim; dd++ {
 			vol *= h
 		}
-		comp := make([]float64, npe)
-		phiC := make([]float64, npe)
 		for a := 0; a < npe; a++ {
-			comp[a] = velC[a*dim+d]
-			phiC[a] = pm[a*2]
+			sc.comp[a] = sc.velC[a*dim+d]
+			sc.phiC[a] = sc.pm[a*2]
 		}
 		for g := 0; g < r.NG; g++ {
-			w := r.W[g] * vol
-			vg := r.AtGauss(g, comp)
-			dpsi := r.GradAtGauss(g, d, h, psiC)
-			rhoG := s.Par.Density(r.AtGauss(g, phiC))
+			wg := r.W[g] * vol
+			vg := r.AtGauss(g, sc.comp)
+			dpsi := r.GradAtGauss(g, d, h, sc.psiC)
+			rhoG := s.Par.Density(r.AtGauss(g, sc.phiC))
 			f := vg - s.Opt.Dt*dpsi/rhoG
 			for a := 0; a < npe; a++ {
-				fe[a*stride+off] += w * f * r.N[g*npe+a]
+				fe[a*stride+off] += wg * f * r.N[g*npe+a]
 			}
 		}
 	}
@@ -96,8 +110,8 @@ func (s *Solver) StepVU(psi []float64) {
 		s.vuKSP.Op, s.vuKSP.PC, s.vuKSP.Red, s.vuKSP.Pool = s.vuMass, s.vuMassPC, m, s.pool
 		for d := 0; d < dim; d++ {
 			tVec := time.Now()
-			s.asmS.AssembleVector(rhs, func(e int, h float64, fe []float64) {
-				emitComp(e, h, d, fe, 1, 0)
+			s.asmS.AssembleVectorPlanned(rhs, func(w, e int, h float64, fe []float64) {
+				emitComp(w, e, h, d, fe, 1, 0)
 			})
 			for i := 0; i < m.NumOwned; i++ {
 				if m.OnBoundary(i) {
@@ -154,9 +168,9 @@ func (s *Solver) StepVU(psi []float64) {
 			s.vuBlockRHS = m.NewVec(dim)
 		}
 		rhs := s.vuBlockRHS
-		s.asmVel.AssembleVector(rhs, func(e int, h float64, fe []float64) {
+		s.asmVel.AssembleVectorPlanned(rhs, func(w, e int, h float64, fe []float64) {
 			for d := 0; d < dim; d++ {
-				emitComp(e, h, d, fe, dim, d)
+				emitComp(w, e, h, d, fe, dim, d)
 			}
 		})
 		s.T.VU.Vector += time.Since(tVec)

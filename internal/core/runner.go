@@ -23,15 +23,21 @@ type RunOptions struct {
 	// decision is broadcast, so every rank stops at the same step.
 	MaxWall time.Duration
 
-	// CkptEvery writes a checkpoint to CkptBase every n steps (0: off).
-	// FinalCkpt writes one after the loop ends; each write overwrites the
-	// previous snapshot at CkptBase, so the base always holds the latest.
+	// CkptEvery writes a checkpoint to CkptBase at every step whose
+	// absolute index (Simulation.StepIndex) is a multiple of n (0: off).
+	// Keying the cadence to the absolute index — not the steps done in
+	// this call — makes a restarted run snapshot at exactly the same
+	// steps as an uninterrupted one. FinalCkpt writes one after the loop
+	// ends; each write overwrites the previous snapshot at CkptBase, so
+	// the base always holds the latest.
 	CkptEvery int
 	CkptBase  string
 	FinalCkpt bool
 
-	// VTKEvery writes the field set under VTKBase_sNNNNNN every n steps
-	// (0: off); FinalVTK writes once under VTKBase after the loop.
+	// VTKEvery writes the field set under VTKBase_sNNNNNN at every step
+	// whose absolute index is a multiple of n (0: off), so restarted and
+	// uninterrupted runs produce identical snapshot series; FinalVTK
+	// writes once under VTKBase after the loop.
 	VTKEvery int
 	VTKBase  string
 	FinalVTK bool
@@ -82,13 +88,16 @@ func (s *Simulation) RunUntil(o RunOptions) (RunResult, error) {
 		if o.OnStep != nil {
 			o.OnStep(s)
 		}
-		if o.CkptEvery > 0 && res.StepsDone%o.CkptEvery == 0 {
+		// Cadences test the absolute step index, not StepsDone: a run
+		// restarted mid-interval must keep snapshotting at the same
+		// absolute steps as the uninterrupted run it resumes.
+		if o.CkptEvery > 0 && s.StepIndex%o.CkptEvery == 0 {
 			if err := s.Checkpoint(o.CkptBase); err != nil {
 				return res, err
 			}
 			lastCkpt = s.StepIndex
 		}
-		if o.VTKEvery > 0 && res.StepsDone%o.VTKEvery == 0 {
+		if o.VTKEvery > 0 && s.StepIndex%o.VTKEvery == 0 {
 			if err := s.WriteVTK(fmt.Sprintf("%s_s%06d", o.VTKBase, s.StepIndex)); err != nil {
 				return res, err
 			}

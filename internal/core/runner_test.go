@@ -139,6 +139,75 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+// TestRestartCadenceMatchesUninterrupted pins the periodic-output
+// contract: checkpoint and VTK cadences key off the absolute step index,
+// so a run interrupted at a step that is not a cadence multiple and then
+// restarted writes its snapshots at exactly the same absolute steps as
+// an uninterrupted run (StepsDone-keyed cadences drift by the restart
+// offset).
+func TestRestartCadenceMatchesUninterrupted(t *testing.T) {
+	cfg := ckptTestConfig()
+	phi0 := ckptTestPhi0(cfg.Params.Cn)
+	dirA := t.TempDir()
+	dirB := t.TempDir()
+	par.Run(2, func(c *par.Comm) {
+		// Uninterrupted reference: 7 steps, VTK/ckpt every 2 → VTK at
+		// steps 2, 4, 6 and a last periodic checkpoint at step 6.
+		sim := New(c, cfg, phi0)
+		if _, err := sim.RunUntil(RunOptions{
+			Steps:    7,
+			VTKEvery: 2, VTKBase: dirA + "/v",
+			CkptEvery: 2, CkptBase: dirA + "/ck",
+		}); err != nil {
+			panic(err)
+		}
+
+		// Interrupted run: stop at step 3 — deliberately *between* cadence
+		// points — checkpoint, restart, and run the remaining 4 steps with
+		// the same cadences.
+		sim = New(c, cfg, phi0)
+		if _, err := sim.RunUntil(RunOptions{Steps: 3, FinalCkpt: true, CkptBase: dirB + "/restart"}); err != nil {
+			panic(err)
+		}
+		restored, err := Restore(c, cfg, dirB+"/restart")
+		if err != nil {
+			panic(err)
+		}
+		if restored.StepIndex != 3 {
+			panic(fmt.Sprintf("restored at step %d, want 3", restored.StepIndex))
+		}
+		if _, err := restored.RunUntil(RunOptions{
+			Steps:    4,
+			VTKEvery: 2, VTKBase: dirB + "/v",
+			CkptEvery: 2, CkptBase: dirB + "/ck",
+		}); err != nil {
+			panic(err)
+		}
+	})
+
+	// The restarted leg covers steps 4..7, so it must produce exactly the
+	// snapshots the uninterrupted run wrote in that range: VTK at 4 and 6
+	// (never the drifted 5 and 7) and a final periodic checkpoint at 6.
+	for _, want := range []string{"v_s000004.pvtu", "v_s000006.pvtu"} {
+		for _, dir := range []string{dirA, dirB} {
+			if _, err := os.Stat(dir + "/" + want); err != nil {
+				t.Errorf("%s missing in %s: %v", want, dir, err)
+			}
+		}
+	}
+	for _, drift := range []string{"v_s000005.pvtu", "v_s000007.pvtu"} {
+		if _, err := os.Stat(dirB + "/" + drift); err == nil {
+			t.Errorf("restarted run wrote drifted snapshot %s", drift)
+		}
+	}
+	for _, dir := range []string{dirA, dirB} {
+		b, err := os.ReadFile(dir + "/ck.meta.json")
+		if err != nil || !strings.Contains(string(b), "\"step\": 6") {
+			t.Errorf("%s: last periodic checkpoint not at step 6: %v %s", dir, err, b)
+		}
+	}
+}
+
 // TestStatsShape checks the machine-readable summary against the
 // simulation's own collectives.
 func TestStatsShape(t *testing.T) {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 
 	"proteus/internal/la"
 	"proteus/internal/mesh"
@@ -80,6 +79,8 @@ type workerScratch struct {
 	blk    []float64
 	wk     *GemmWork
 	vals   []float64 // accumulation buffer for workers > 0
+	fe     []float64 // elemental vector (planned vector assembly)
+	fz     []float64 // zipped elemental vector (planned vector assembly)
 }
 
 // Assembler drives distributed matrix and vector assembly over a mesh.
@@ -108,6 +109,18 @@ type Assembler struct {
 	shKern          NodeMajorKernel
 	shZKern         ZippedKernel
 	shN, shNW       int
+
+	// Planned vector assembly: the cached vector plan, an optional shard
+	// count override (0: follow workers) and the prebuilt shard closures
+	// with their argument slots (see vecplan.go).
+	vplan                  *VecPlan
+	vecWorkers             int
+	vecElemFn, vecGatherFn func(w int)
+	shVec                  []float64
+	shVKern                WorkerVecKernel
+	shVZKern               WorkerZippedVecKernel
+	shVN, shVNW            int
+	shVLo, shVHi           int
 
 	// off is the reusable off-process contribution buffer of the cold
 	// path (preallocated per-destination slices, reset between calls).
@@ -147,6 +160,8 @@ func (a *Assembler) ensureWorkers(n int) {
 			ke:  make([]float64, nn*nn),
 			blk: make([]float64, a.Ndof*a.Ndof),
 			wk:  NewGemmWork(a.Ref),
+			fe:  make([]float64, nn),
+			fz:  make([]float64, nn),
 		}
 		s.blocks = make([][]float64, a.Ndof*a.Ndof)
 		for j := range s.blocks {
@@ -199,9 +214,11 @@ func (a *Assembler) SetEpoch(e uint64) {
 // Epoch returns the assembler's current mesh epoch.
 func (a *Assembler) Epoch() uint64 { return a.epoch }
 
-// InvalidatePlans drops the cached assembly plans (e.g. after a remesh).
+// InvalidatePlans drops the cached assembly plans — matrix and vector —
+// (e.g. after a remesh).
 func (a *Assembler) InvalidatePlans() {
 	a.plans[0], a.plans[1] = nil, nil
+	a.vplan = nil
 }
 
 // Rebind points the assembler at a new mesh generation, preserving
@@ -357,31 +374,8 @@ func (a *Assembler) assembleWarm(mat *la.BSRMat, plan *AssemblyPlan, kern NodeMa
 			a.elemFn, a.mergeFn = a.runElemShard, a.runMergeShard
 		}
 		a.shVals, a.shPlan, a.shKern, a.shZKern, a.shN, a.shNW = vals, plan, kern, zkern, n, nw
-		if a.pool != nil {
-			a.pool.Run(a.elemFn)
-			a.pool.Run(a.mergeFn)
-		} else {
-			var wg sync.WaitGroup
-			for w := 1; w < nw; w++ {
-				wg.Add(1)
-				go func(w int) {
-					defer wg.Done()
-					a.runElemShard(w)
-				}(w)
-			}
-			a.runElemShard(0)
-			wg.Wait()
-			var mg sync.WaitGroup
-			for s := 1; s < nw; s++ {
-				mg.Add(1)
-				go func(s int) {
-					defer mg.Done()
-					a.runMergeShard(s)
-				}(s)
-			}
-			a.runMergeShard(0)
-			mg.Wait()
-		}
+		a.runSharded(a.elemFn, nw)
+		a.runSharded(a.mergeFn, nw)
 		a.shVals, a.shPlan, a.shKern, a.shZKern = nil, nil, nil, nil
 	}
 	a.flushPlanned(mat, plan)
@@ -396,7 +390,7 @@ func (a *Assembler) runElemShard(w int) {
 	if w >= nw {
 		return
 	}
-	lo, hi := w*n/nw, (w+1)*n/nw
+	lo, hi := par.Shard(w, nw, n)
 	if w == 0 {
 		a.runShard(0, lo, hi, a.shVals, a.shPlan, a.shKern, a.shZKern)
 		return
@@ -423,7 +417,7 @@ func (a *Assembler) runMergeShard(s int) {
 	}
 	vals := a.shVals
 	nv := len(vals)
-	lo, hi := s*nv/nw, (s+1)*nv/nw
+	lo, hi := par.Shard(s, nw, nv)
 	for w := 1; w < nw; w++ {
 		buf := a.ws[w].vals
 		for i := lo; i < hi; i++ {
@@ -664,7 +658,10 @@ func (a *Assembler) flushPlanned(mat *la.BSRMat, plan *AssemblyPlan) {
 type VecKernel func(e int, h float64, fe []float64)
 
 // AssembleVector accumulates elemental vectors into v (full local layout)
-// and pushes ghost contributions to owners. Collective.
+// and pushes ghost contributions to owners. This is the serial reference
+// path (and the bitwise contract AssembleVectorPlanned is tested
+// against); hot-loop callers use the sharded, allocation-free planned
+// variant in vecplan.go. Collective.
 func (a *Assembler) AssembleVector(v []float64, kern VecKernel) {
 	for i := range v {
 		v[i] = 0

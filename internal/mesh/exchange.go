@@ -73,6 +73,17 @@ func (m *Mesh) GhostReadEnd(v []float64, ndof int) {
 // (use Add for accumulation, Min/Max for the morphological passes), and
 // then resets the ghost segment to reset. Collective.
 func (m *Mesh) GhostWrite(v []float64, ndof int, op func(own, in float64) float64, reset float64) {
+	m.GhostWriteBegin(v, ndof, reset)
+	m.GhostWriteEnd(v, ndof, op)
+}
+
+// GhostWriteBegin starts a combining ghost write: the ghost segment of v
+// is serialized (into per-peer reusable buffers), sent to the owning
+// ranks and reset to reset. Local computation that touches only owned
+// entries of v may run between Begin and End — the overlap window the
+// planned vector assembly uses to hide the exchange behind its
+// owned-segment gather. Collective with GhostWriteEnd.
+func (m *Mesh) GhostWriteBegin(v []float64, ndof int, reset float64) {
 	c := m.Comm
 	if c.Size() == 1 {
 		return
@@ -92,9 +103,38 @@ func (m *Mesh) GhostWrite(v []float64, ndof int, op func(own, in float64) float6
 		}
 		par.SendSlice(c, pl.rank, tagGhostWrite, buf)
 	}
+}
+
+// GhostWriteEnd completes a ghost write started by GhostWriteBegin,
+// combining each incoming contribution into the owner's value with op.
+// Batches are applied in ascending source-rank order regardless of
+// arrival (sendTo is rank-sorted), so accumulating writes are
+// deterministic — the same discipline the assembler's off-process matrix
+// flush uses, required for sharded RHS assembly to be bitwise
+// reproducible. The trailing barrier lets every rank safely reuse its
+// send buffers in the next exchange.
+func (m *Mesh) GhostWriteEnd(v []float64, ndof int, op func(own, in float64) float64) {
+	c := m.Comm
+	if c.Size() == 1 {
+		return
+	}
+	if len(m.gwRecv) != len(m.sendTo) {
+		m.gwRecv = make([][]float64, len(m.sendTo))
+	}
 	for range m.sendTo {
 		buf, src := par.RecvSlice[float64](c, par.AnySource, tagGhostWrite)
-		pl := m.peerSend(src)
+		i := 0
+		for ; i < len(m.sendTo) && m.sendTo[i].rank != src; i++ {
+		}
+		if i == len(m.sendTo) {
+			panic("mesh: unexpected ghost-write source")
+		}
+		m.gwRecv[i] = buf
+	}
+	for i := range m.sendTo {
+		pl := &m.sendTo[i]
+		buf := m.gwRecv[i]
+		m.gwRecv[i] = nil
 		for k, li := range pl.idx {
 			for d := 0; d < ndof; d++ {
 				o := int(li)*ndof + d
@@ -131,15 +171,6 @@ func (m *Mesh) peerRecv(rank int) *peerList {
 		}
 	}
 	panic("mesh: unexpected ghost-read source")
-}
-
-func (m *Mesh) peerSend(rank int) *peerList {
-	for i := range m.sendTo {
-		if m.sendTo[i].rank == rank {
-			return &m.sendTo[i]
-		}
-	}
-	panic("mesh: unexpected ghost-write source")
 }
 
 // GlobalSum reduces the sum of an owned-segment quantity across ranks.

@@ -81,6 +81,11 @@ type Mesh struct {
 	// index maps node keys to local indices.
 	index map[NodeKey]int32
 
+	// gwRecv parks received ghost-write batches until all peers have
+	// arrived, so GhostWriteEnd can combine them in rank order (reused
+	// across exchanges).
+	gwRecv [][]float64
+
 	// redScratch holds two alternating buffers for in-place global
 	// reductions (GlobalSumInto). Two suffice: a buffer broadcast in
 	// collective k can still be read by a lagging rank until it enters

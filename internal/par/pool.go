@@ -71,6 +71,13 @@ func poolWorker(w int, tasks <-chan func(int), done chan<- struct{}, stop <-chan
 // Workers returns the worker count kernels must size their shards for.
 func (p *Pool) Workers() int { return p.n }
 
+// Shard returns the half-open item range [lo, hi) of shard w out of nw
+// over n items — the canonical block partition every sharded kernel
+// (element loops, merges, vector gathers) derives from its worker index.
+func Shard(w, nw, n int) (lo, hi int) {
+	return w * n / nw, (w + 1) * n / nw
+}
+
 // Run invokes f(w) for every worker index w in [0, Workers()) and returns
 // when all have finished. f runs on the caller for w == 0. Dispatch is
 // allocation-free: f travels to the workers over prearranged channels.
