@@ -477,7 +477,7 @@ func benchKSPWarm(b *testing.B, method la.Method, workers int) {
 	}
 	x := make([]float64, n)
 	k := &la.KSP{Op: m, PC: la.NewPCPBJacobi(m), Type: method, Pool: pool, Rtol: 1e-8}
-	res := k.Solve(rhs, x) // cold: allocates the workspace
+	res, _ := k.Solve(rhs, x) // cold: allocates the workspace
 	if !res.Converged {
 		b.Fatalf("%s did not converge: %+v", method, res)
 	}

@@ -20,6 +20,7 @@ import (
 
 	"proteus/internal/ckpt"
 	"proteus/internal/core"
+	"proteus/internal/fault"
 	"proteus/internal/par"
 	"proteus/internal/scenario"
 )
@@ -34,7 +35,11 @@ func main() {
 	vtkEvery := flag.Int("vtk-every", 0, "write VTK every n steps (0: only once at the end when -out is set)")
 	ckptBase := flag.String("ckpt", "", "checkpoint base path (empty disables)")
 	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint every n steps (0: only once at the end when -ckpt is set)")
-	restart := flag.String("restart", "", "restart from this checkpoint base (scenario and preset come from its meta)")
+	ckptRetain := flag.Int("ckpt-retain", 3, "snapshot generations to keep under -ckpt (0: keep all)")
+	restart := flag.String("restart", "", "restart from this checkpoint base (scenario and preset come from its meta; resolves to the newest intact generation)")
+	maxRetries := flag.Int("max-retries", 3, "per-step retries after a solver divergence, each at half the dt (0: fail fast)")
+	faults := flag.String("faults", "", "deterministic fault injection spec: point@step[-hi][/stage][/rank=N][/count=N], points ksp|nan|ckpt, entries ';'-separated (testing)")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for randomized fault step ranges")
 	statsJSON := flag.String("stats-json", "", "dump machine-readable run stats (timers, elem counts, remesh counts) to this path")
 	table2 := flag.Bool("table2", false, "print the Table II solver configuration and exit")
 	localCahn := flag.Bool("localcahn", true, "enable local-Cahn detection where the scenario uses it")
@@ -55,9 +60,12 @@ func main() {
 
 	name, pr := *caseName, scenario.Preset(*preset)
 	var meta ckpt.Meta
+	restartBase := ""
 	if *restart != "" {
+		// Resolve the base to the newest intact snapshot generation,
+		// walking past corrupt or truncated ones.
 		var err error
-		if meta, err = ckpt.ReadMeta(*restart); err != nil {
+		if meta, restartBase, err = ckpt.ReadLatestGood(*restart); err != nil {
 			fatal(err)
 		}
 		name = meta.Scenario
@@ -92,26 +100,35 @@ func main() {
 		var sim *core.Simulation
 		if *restart != "" {
 			var err error
-			sim, err = core.Restore(c, spec.Config, *restart)
+			sim, err = core.Restore(c, spec.Config, restartBase)
 			if err != nil {
 				panic(err)
 			}
 		} else {
 			sim = sc.NewFromSpec(c, pr, spec)
 		}
+		if *faults != "" {
+			inj, err := fault.Parse(*faults, *faultSeed, c.Rank())
+			if err != nil {
+				panic(err)
+			}
+			sim.Fault = inj
+		}
 		desc := sim.Describe()
 		if c.Rank() == 0 {
 			fmt.Printf("%s/%s initial: %s\n", name, pr, desc)
 		}
 		res, err := sim.RunUntil(core.RunOptions{
-			Steps:     *steps,
-			MaxWall:   *wall,
-			CkptEvery: *ckptEvery,
-			CkptBase:  *ckptBase,
-			FinalCkpt: *ckptBase != "",
-			VTKEvery:  *vtkEvery,
-			VTKBase:   *out,
-			FinalVTK:  *out != "",
+			Steps:      *steps,
+			MaxWall:    *wall,
+			CkptEvery:  *ckptEvery,
+			CkptBase:   *ckptBase,
+			FinalCkpt:  *ckptBase != "",
+			CkptRetain: *ckptRetain,
+			MaxRetries: *maxRetries,
+			VTKEvery:   *vtkEvery,
+			VTKBase:    *out,
+			FinalVTK:   *out != "",
 			OnStep: func(s *core.Simulation) {
 				d := s.Describe()
 				if c.Rank() == 0 {
@@ -134,6 +151,13 @@ func main() {
 			}
 			if *ckptBase != "" {
 				fmt.Printf("checkpoint at %s (step %d)\n", *ckptBase, st.Step)
+			}
+			if st.Retries > 0 || st.CkptFallbacks > 0 {
+				fmt.Printf("recovered from %d divergences (%d retries, %d checkpoint fallbacks)\n",
+					len(st.Recovery), st.Retries, st.CkptFallbacks)
+				for _, ev := range st.Recovery {
+					fmt.Printf("  step %d: %s/%s -> dt %g (retry %d)\n", ev.Step, ev.Stage, ev.Kind, ev.Dt, ev.Retry)
+				}
 			}
 			if *statsJSON != "" {
 				if err := core.WriteStatsJSON(*statsJSON, st); err != nil {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"proteus/internal/blas"
+	"proteus/internal/fault"
 	"proteus/internal/fem"
 	"proteus/internal/la"
 )
@@ -240,8 +241,11 @@ func (p *chProblem) Jacobian(x []float64) (la.Operator, la.PC) {
 
 // StepCH advances the Cahn–Hilliard block one time step with the current
 // velocity field (Table II: bcgs + bjacobi inside Newton). If velOverride
-// is non-nil it replaces s.Vel for this step.
-func (s *Solver) StepCH(velOverride []float64) {
+// is non-nil it replaces s.Vel for this step. The report carries the
+// Newton outcome; a stalled Newton iteration, an injected divergence or
+// a non-finite φ/μ field returns a *ErrDiverged (globally consistent
+// across ranks).
+func (s *Solver) StepCH(velOverride []float64) (StageReport, error) {
 	t0 := time.Now()
 	if velOverride != nil {
 		copy(s.Vel, velOverride)
@@ -262,17 +266,36 @@ func (s *Solver) StepCH(velOverride []float64) {
 	// reducer and pool at the current mesh generation every step.
 	s.chNewton.Red, s.chNewton.Pool = m, s.pool
 	nw := s.chNewton
-	nw.Solve(&s.chProb, s.PhiMu)
+	ok, err := nw.Solve(&s.chProb, s.PhiMu)
 	m.GhostRead(s.PhiMu, 2)
+	rep := StageReport{Stage: StageCH, Result: nw.Last,
+		NewtonIterations: nw.Iterations, NewtonConverged: ok}
 	st := &s.T.CH
-	st.Total += time.Since(t0)
 	st.Iterations += nw.LinearIterations
+	if err != nil {
+		st.Total += time.Since(t0)
+		return rep, err
+	}
+	if s.Fault.Fire(fault.KSPDiverge, string(StageCH)) {
+		ok, rep.NewtonConverged = false, false
+		rep.Result.Converged = false
+	}
+	if !ok {
+		st.Total += time.Since(t0)
+		return rep, &ErrDiverged{Stage: StageCH, Kind: DivergeNewton,
+			Result: rep.Result, NewtonIterations: nw.Iterations}
+	}
+	s.pokeNaN(StageCH, s.PhiMu)
+	err = s.checkFinite(StageCH, s.scanBad(s.PhiMu, 2*m.NumOwned), rep.Result)
+	st.Total += time.Since(t0)
+	return rep, err
 }
 
 // InitMuFromPhi sets μ = ψ'(φ) - Cn²Δφ consistently by solving the mass
 // system M μ = F(ψ'(φ)) + Cn² K φ, so the first step does not see a
-// spurious chemical potential.
-func (s *Solver) InitMuFromPhi() {
+// spurious chemical potential. The error reports a misconfigured mass
+// solver; the CG solve on an SPD mass matrix does not fail numerically.
+func (s *Solver) InitMuFromPhi() error {
 	m := s.M
 	m.GhostRead(s.PhiMu, 2)
 	r := s.asmS.Ref
@@ -316,9 +339,12 @@ func (s *Solver) InitMuFromPhi() {
 	}
 	s.chMassKSP.Op, s.chMassKSP.PC, s.chMassKSP.Red, s.chMassKSP.Pool = s.chMassMat, s.chMassPC, m, s.pool
 	mu := m.NewVec(1)
-	s.chMassKSP.Solve(rhs, mu)
+	if _, err := s.chMassKSP.Solve(rhs, mu); err != nil {
+		return err
+	}
 	m.GhostRead(mu, 1)
 	for i := 0; i < m.NumLocal; i++ {
 		s.PhiMu[i*2+1] = mu[i]
 	}
+	return nil
 }

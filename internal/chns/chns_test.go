@@ -209,7 +209,7 @@ func TestProjectionReducesDivergence(t *testing.T) {
 		s.StepCH(nil)
 		s.StepNS()
 		divBefore := s.DivergenceL2()
-		psi := s.StepPP()
+		psi, _, _ := s.StepPP()
 		s.StepVU(psi)
 		divAfter := s.DivergenceL2()
 		if divAfter > 0.6*divBefore && divBefore > 1e-12 {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"proteus/internal/blas"
+	"proteus/internal/fault"
 	"proteus/internal/fem"
 	"proteus/internal/la"
 )
@@ -77,7 +78,7 @@ func newNSVecScratch(npe, dim int) nsVecScratch {
 // with the capillary force F_st = -(Cn/We) ∫ ∇N : (∇φ⊗∇φ), gravity
 // F_g = ∫ N ρ ĝ/Fr, and the thermodynamic mass-flux convection C_J
 // carrying J = ((ρ⁻/ρ⁺-1)/2)(Cn/Pe) m(φ)∇μ (treated explicitly).
-func (s *Solver) StepNS() {
+func (s *Solver) StepNS() (StageReport, error) {
 	t0 := time.Now()
 	m := s.M
 	dim := m.Dim
@@ -288,9 +289,24 @@ func (s *Solver) StepNS() {
 		s.nsKSP = &la.KSP{Type: la.BiCGS, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
 	}
 	s.nsKSP.Op, s.nsKSP.PC, s.nsKSP.Red, s.nsKSP.Pool = mat, s.nsPC, m, s.pool
-	res := s.nsKSP.Solve(rhs, s.Vel)
+	res, err := s.nsKSP.Solve(rhs, s.Vel)
 	s.T.NS.Solve += time.Since(tSolve)
 	s.T.NS.Iterations += res.Iterations
 	m.GhostRead(s.Vel, dim)
+	rep := StageReport{Stage: StageNS, Result: res}
+	if err != nil {
+		s.T.NS.Total += time.Since(t0)
+		return rep, err
+	}
+	if s.Fault.Fire(fault.KSPDiverge, string(StageNS)) {
+		rep.Result.Converged = false
+	}
+	if !rep.Result.Converged {
+		s.T.NS.Total += time.Since(t0)
+		return rep, &ErrDiverged{Stage: StageNS, Kind: DivergeKSP, Result: rep.Result}
+	}
+	s.pokeNaN(StageNS, s.Vel)
+	err = s.checkFinite(StageNS, s.scanBad(s.Vel, dim*m.NumOwned), rep.Result)
 	s.T.NS.Total += time.Since(t0)
+	return rep, err
 }

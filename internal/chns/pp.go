@@ -3,6 +3,7 @@ package chns
 import (
 	"time"
 
+	"proteus/internal/fault"
 	"proteus/internal/fem"
 	"proteus/internal/la"
 )
@@ -42,7 +43,7 @@ func newPPScratch(npe, ng, dim int) ppScratch {
 // The returned slice is the solver's persistent ψ buffer: it stays valid
 // until the next StepPP (which overwrites it in place) — copy it to
 // retain a snapshot across steps.
-func (s *Solver) StepPP() []float64 {
+func (s *Solver) StepPP() ([]float64, StageReport, error) {
 	t0 := time.Now()
 	m := s.M
 	dim := m.Dim
@@ -135,10 +136,24 @@ func (s *Solver) StepPP() []float64 {
 		s.ppKSP = &la.KSP{Type: la.IBiCGS, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
 	}
 	s.ppKSP.Op, s.ppKSP.PC, s.ppKSP.Red, s.ppKSP.Pool = mat, s.ppPC, m, s.pool
-	res := s.ppKSP.Solve(rhs, psi)
+	res, err := s.ppKSP.Solve(rhs, psi)
 	s.T.PP.Solve += time.Since(tSolve)
 	s.T.PP.Iterations += res.Iterations
 	m.GhostRead(psi, 1)
+	rep := StageReport{Stage: StagePP, Result: res}
+	if err != nil {
+		s.T.PP.Total += time.Since(t0)
+		return psi, rep, err
+	}
+	if s.Fault.Fire(fault.KSPDiverge, string(StagePP)) {
+		rep.Result.Converged = false
+	}
+	if !rep.Result.Converged {
+		s.T.PP.Total += time.Since(t0)
+		return psi, rep, &ErrDiverged{Stage: StagePP, Kind: DivergeKSP, Result: rep.Result}
+	}
+	s.pokeNaN(StagePP, psi)
+	err = s.checkFinite(StagePP, s.scanBad(psi, m.NumOwned), rep.Result)
 	s.T.PP.Total += time.Since(t0)
-	return psi
+	return psi, rep, err
 }

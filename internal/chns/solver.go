@@ -3,6 +3,7 @@ package chns
 import (
 	"time"
 
+	"proteus/internal/fault"
 	"proteus/internal/fem"
 	"proteus/internal/la"
 	"proteus/internal/mesh"
@@ -97,6 +98,10 @@ type Solver struct {
 	Par Params
 	Opt Options
 
+	// Fault is the optional deterministic fault injector (nil: inert).
+	// It survives Rebind, so an injection schedule spans remeshes.
+	Fault *fault.Injector
+
 	// State: PhiMu is a 2-DOF vector (φ, μ per node); Vel is DIM-DOF;
 	// P is the pressure.
 	PhiMu []float64
@@ -172,6 +177,16 @@ type Solver struct {
 	// kernel (hoisted out of the per-element callback).
 	lumpOnes []float64
 
+	// Finite-scan state: the prebuilt sharded NaN/Inf scan closure, its
+	// per-worker flag slots (stride-padded against false sharing) and the
+	// one-element reduction buffer — all hoisted so the post-stage scan
+	// of every step allocates nothing.
+	finVec []float64
+	finN   int
+	finBad []uint64
+	finRun func(w int)
+	finRed [1]float64
+
 	meshEpoch uint64
 }
 
@@ -200,6 +215,7 @@ func NewSolver(m *mesh.Mesh, prm Params, opt Options) *Solver {
 		s.asmS.SetVecWorkers(opt.VecWorkers)
 	}
 	s.initScratch()
+	s.initFiniteScan()
 	return s
 }
 
@@ -375,20 +391,41 @@ func (s *Solver) lumpedMass() []float64 {
 	return v
 }
 
-// Step advances one full time block: CH, NS, PP, VU (Sec. II-A).
-func (s *Solver) Step() {
-	s.StepCH(nil)
-	s.StepNS()
-	psi := s.StepPP()
-	s.StepVU(psi)
+// Step advances one full time block: CH, NS, PP, VU (Sec. II-A). The
+// report carries every stage's linear/Newton outcome; on failure the
+// error is a *ErrDiverged naming the stage and failure kind, the
+// remaining stages are skipped, and the state fields hold the partial
+// (possibly corrupt) step — the caller owns rollback (core.RunUntil
+// snapshots before each step and restores on error). The verdict is
+// globally consistent: every rank returns the same error or none.
+func (s *Solver) Step() (StepReport, error) {
+	var rep StepReport
+	var err error
+	if rep.CH, err = s.StepCH(nil); err != nil {
+		return rep, err
+	}
+	if rep.NS, err = s.StepNS(); err != nil {
+		return rep, err
+	}
+	psi, ppRep, err := s.StepPP()
+	rep.PP = ppRep
+	if err != nil {
+		return rep, err
+	}
+	rep.VU, err = s.StepVU(psi)
+	return rep, err
 }
 
 // StepCHWithVelocity advances only the Cahn–Hilliard block using a
 // prescribed analytic velocity (the swirling-flow validation mode of
-// Fig. 5). The velocity field is sampled at nodes each call.
-func (s *Solver) StepCHWithVelocity(f func(x, y, z float64) (vx, vy, vz float64)) {
+// Fig. 5). The velocity field is sampled at nodes each call. Only the
+// CH entry of the report is populated.
+func (s *Solver) StepCHWithVelocity(f func(x, y, z float64) (vx, vy, vz float64)) (StepReport, error) {
+	var rep StepReport
+	var err error
 	s.SetVelocity(f)
-	s.StepCH(nil)
+	rep.CH, err = s.StepCH(nil)
+	return rep, err
 }
 
 func timed(d *time.Duration) func() {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"proteus/internal/fault"
 	"proteus/internal/fem"
 	"proteus/internal/la"
 )
@@ -35,9 +36,12 @@ func newVUScratch(npe, dim int) vuScratch {
 // DIM-DOF solve is split into DIM single-DOF solves reusing one assembled
 // mass matrix (the Sec. II-A memory/assembly optimization measured in
 // Table I); otherwise a single block system of size N×DIM is assembled
-// and solved, the baseline layout.
-func (s *Solver) StepVU(psi []float64) {
+// and solved, the baseline layout. In split mode the report's Result is
+// the final component's solve with Iterations accumulated over all
+// components.
+func (s *Solver) StepVU(psi []float64) (StageReport, error) {
 	t0 := time.Now()
+	rep := StageReport{Stage: StageVU}
 	m := s.M
 	dim := m.Dim
 	r := s.asmS.Ref
@@ -108,6 +112,7 @@ func (s *Solver) StepVU(psi []float64) {
 			s.vuKSP = &la.KSP{Type: la.CG, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
 		}
 		s.vuKSP.Op, s.vuKSP.PC, s.vuKSP.Red, s.vuKSP.Pool = s.vuMass, s.vuMassPC, m, s.pool
+		itSum := 0
 		for d := 0; d < dim; d++ {
 			tVec := time.Now()
 			s.asmS.AssembleVectorPlanned(rhs, func(w, e int, h float64, fe []float64) {
@@ -123,9 +128,20 @@ func (s *Solver) StepVU(psi []float64) {
 			for i := range comp {
 				comp[i] = 0
 			}
-			res := s.vuKSP.Solve(rhs, comp)
+			res, err := s.vuKSP.Solve(rhs, comp)
 			s.T.VU.Solve += time.Since(tSolve)
 			s.T.VU.Iterations += res.Iterations
+			itSum += res.Iterations
+			rep.Result = res
+			rep.Result.Iterations = itSum
+			if err != nil {
+				s.T.VU.Total += time.Since(t0)
+				return rep, err
+			}
+			if !res.Converged {
+				s.T.VU.Total += time.Since(t0)
+				return rep, &ErrDiverged{Stage: StageVU, Kind: DivergeKSP, Result: rep.Result}
+			}
 			for i := 0; i < m.NumOwned; i++ {
 				newVel[i*dim+d] = comp[i]
 			}
@@ -194,9 +210,23 @@ func (s *Solver) StepVU(psi []float64) {
 			s.vuBlockKSP = &la.KSP{Type: la.CG, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
 		}
 		s.vuBlockKSP.Op, s.vuBlockKSP.PC, s.vuBlockKSP.Red, s.vuBlockKSP.Pool = mat, s.vuBlockPC, m, s.pool
-		res := s.vuBlockKSP.Solve(rhs, s.Vel)
+		res, err := s.vuBlockKSP.Solve(rhs, s.Vel)
 		s.T.VU.Solve += time.Since(tSolve)
 		s.T.VU.Iterations += res.Iterations
+		rep.Result = res
+		if err != nil {
+			s.T.VU.Total += time.Since(t0)
+			return rep, err
+		}
+		if !res.Converged {
+			s.T.VU.Total += time.Since(t0)
+			return rep, &ErrDiverged{Stage: StageVU, Kind: DivergeKSP, Result: rep.Result}
+		}
+	}
+	if s.Fault.Fire(fault.KSPDiverge, string(StageVU)) {
+		rep.Result.Converged = false
+		s.T.VU.Total += time.Since(t0)
+		return rep, &ErrDiverged{Stage: StageVU, Kind: DivergeKSP, Result: rep.Result}
 	}
 	m.GhostRead(s.Vel, dim)
 	// Pressure update: ψ is the kinematic increment; the momentum
@@ -204,7 +234,13 @@ func (s *Solver) StepVU(psi []float64) {
 	for i := 0; i < m.NumLocal; i++ {
 		s.P[i] += psi[i] * s.Par.We
 	}
+	// One fused finite check covers both stage outputs (velocity and the
+	// updated pressure) with a single global reduction.
+	s.pokeNaN(StageVU, s.Vel)
+	bad := s.scanBad(s.Vel, dim*m.NumOwned) | s.scanBad(s.P, m.NumOwned)
+	err := s.checkFinite(StageVU, bad, rep.Result)
 	s.T.VU.Total += time.Since(t0)
+	return rep, err
 }
 
 // DivergenceL2 returns the global L2 norm of ∇·v, the quantity the

@@ -9,6 +9,14 @@
 // replayed through the key-addressed bitwise migration path
 // (transfer.MigrateKeyedNodal / transfer.MigrateElem) onto the restart
 // partition. Field values survive the round trip bitwise.
+//
+// Integrity: every rank file ends in a CRC32 (IEEE) trailer over its
+// full contents, the meta records each rank file's CRC, and all files
+// are fsynced before the rename that publishes them — so torn, truncated
+// or bit-flipped snapshots are detected on read instead of silently
+// restoring garbage. Long runs keep a bounded history of snapshot
+// generations (GenBase/Rotate) and recover through ReadLatestGood, which
+// walks the generations newest-to-oldest past any corrupt one.
 package ckpt
 
 import (
@@ -16,19 +24,24 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"proteus/internal/chns"
+	"proteus/internal/fault"
 	"proteus/internal/mesh"
 	"proteus/internal/par"
 	"proteus/internal/sfc"
 )
 
 // Version is the snapshot format version stamped into every rank file and
-// the meta file. Readers reject other versions.
-const Version = 1
+// the meta file. Readers reject other versions. Version 2 added the
+// per-rank CRC32 trailer and the meta CRC list.
+const Version = 2
 
 // magic identifies a proteus checkpoint rank file.
 var magic = [4]byte{'P', 'C', 'K', 'P'}
@@ -52,6 +65,11 @@ type Meta struct {
 	RemeshCount int   `json:"remesh_count"`
 	GlobalElems int64 `json:"global_elems"`
 	GlobalDofs  int64 `json:"global_dofs"`
+	// RankCRCs are the CRC32 (IEEE) trailers of the rank files indexed by
+	// writer rank. A reader cross-checks them against each file's own
+	// trailer, so a rank file swapped in from another generation fails
+	// loudly even though it is internally consistent.
+	RankCRCs []uint32 `json:"rank_crcs,omitempty"`
 	// Timers are the accumulated stage timers at checkpoint time, restored
 	// so a resumed run keeps meaningful cumulative Fig. 7 accounting.
 	Timers chns.Timers `json:"timers"`
@@ -76,13 +94,127 @@ func rankPath(base string, r int) string {
 	return fmt.Sprintf("%s_r%04d.ck", base, r)
 }
 
+// GenBase returns the per-generation base path of a snapshot at the given
+// absolute step: base-g000000042. The zero-padded decimal step makes the
+// lexicographic order of generation paths the chronological order.
+func GenBase(base string, step int) string {
+	return fmt.Sprintf("%s-g%09d", base, step)
+}
+
+// Generations lists the generation base paths recorded under base,
+// oldest first. Only generations with a published meta file count — a
+// crash mid-write leaves rank .tmp files but never a meta, so unpublished
+// partial writes are invisible here.
+func Generations(base string) []string {
+	ms, _ := filepath.Glob(base + "-g*.meta.json")
+	sort.Strings(ms)
+	out := make([]string, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, strings.TrimSuffix(m, ".meta.json"))
+	}
+	return out
+}
+
+// Rotate deletes the oldest generations under base until at most retain
+// remain (retain <= 0 keeps everything). The meta file goes first, so an
+// interrupted rotation can only leave unpublished rank files behind,
+// never a published meta naming missing ones. Call from one rank.
+func Rotate(base string, retain int) error {
+	if retain <= 0 {
+		return nil
+	}
+	gens := Generations(base)
+	var firstErr error
+	for len(gens) > retain {
+		g := gens[0]
+		gens = gens[1:]
+		meta, metaErr := ReadMeta(g)
+		if err := os.Remove(metaPath(g)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if metaErr == nil {
+			for r := 0; r < meta.Ranks; r++ {
+				if err := os.Remove(rankPath(g, r)); err != nil && !os.IsNotExist(err) && firstErr == nil {
+					firstErr = err
+				}
+			}
+		} else {
+			// Unreadable meta (e.g. an injected corruption): sweep whatever
+			// rank files match the generation's pattern instead.
+			rfs, _ := filepath.Glob(g + "_r*.ck")
+			for _, rf := range rfs {
+				if err := os.Remove(rf); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+	}
+	return firstErr
+}
+
+// Verify checks a snapshot's integrity without building a mesh: the meta
+// parses, and every rank file it names passes the magic/header/step/CRC
+// checks. Call from one rank.
+func Verify(base string) error {
+	meta, err := ReadMeta(base)
+	if err != nil {
+		return err
+	}
+	for r := 0; r < meta.Ranks; r++ {
+		if _, err := readRank(rankPath(base, r), meta, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadLatestGood resolves base to the newest intact snapshot and returns
+// its meta together with the resolved base path to pass to Read. The
+// literal base is preferred when it has a meta file (the pre-generation
+// single-snapshot layout); otherwise the generations under base are
+// tried newest-to-oldest, skipping any that fail Verify — the recovery
+// path past a corrupt or truncated latest checkpoint. Call from one rank
+// and broadcast the result.
+func ReadLatestGood(base string) (Meta, string, error) {
+	if _, err := os.Stat(metaPath(base)); err == nil {
+		meta, err := ReadMeta(base)
+		if err == nil {
+			if err := Verify(base); err == nil {
+				return meta, base, nil
+			}
+		}
+	}
+	gens := Generations(base)
+	var lastErr error
+	for i := len(gens) - 1; i >= 0; i-- {
+		if err := Verify(gens[i]); err != nil {
+			lastErr = err
+			continue
+		}
+		meta, err := ReadMeta(gens[i])
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return meta, gens[i], nil
+	}
+	if lastErr != nil {
+		return Meta{}, "", fmt.Errorf("ckpt: no intact snapshot under %s (last error: %w)", base, lastErr)
+	}
+	return Meta{}, "", fmt.Errorf("ckpt: no snapshot found under %s", base)
+}
+
 // Write dumps the snapshot under path base: one binary file per rank and
-// the meta JSON from rank 0. Every file is written to a temporary path
-// and renamed into place only after all ranks report success (meta
-// last), so a crash or error mid-write leaves any previous snapshot at
-// base intact and restartable. The error result is collective-consistent
-// (all ranks agree on success or failure). Collective.
-func Write(c *par.Comm, base string, meta Meta, loc *Local) error {
+// the meta JSON from rank 0. Every file is written to a temporary path,
+// fsynced, and renamed into place only after all ranks report success
+// (meta last), so a crash or error mid-write leaves any previous
+// snapshot at base intact and restartable. The error result is
+// collective-consistent (all ranks agree on success or failure). The
+// optional injector drives the CkptTruncate fault point: a firing
+// truncates this rank's synced temporary file before the rename, so the
+// published snapshot is corrupt in exactly the way a torn write would
+// be. Collective.
+func Write(c *par.Comm, base string, meta Meta, loc *Local, inj ...*fault.Injector) error {
 	meta.Version = Version
 	meta.Ranks = c.Size()
 	rp, mp := rankPath(base, c.Rank()), metaPath(base)
@@ -90,16 +222,25 @@ func Write(c *par.Comm, base string, meta Meta, loc *Local) error {
 	if dir := filepath.Dir(base); dir != "." && dir != "" {
 		err = os.MkdirAll(dir, 0o755)
 	}
+	var crc uint32
 	if err == nil {
-		err = writeRank(rp+".tmp", meta, c.Rank(), loc)
+		crc, err = writeRank(rp+".tmp", meta, c.Rank(), loc)
 	}
+	// The CRC list is global meta state: gather every rank's trailer to
+	// the meta writer. The gather doubles as the pre-publish barrier.
+	crcs := par.Gather(c, 0, crc)
 	if err == nil && c.Rank() == 0 {
+		meta.RankCRCs = crcs
 		err = writeMeta(mp+".tmp", meta)
 	}
 	fail := func(err error) error {
-		os.Remove(rp + ".tmp")
+		if rerr := os.Remove(rp + ".tmp"); rerr != nil && !os.IsNotExist(rerr) {
+			err = fmt.Errorf("%w (and removing %s.tmp failed: %v)", err, rp, rerr)
+		}
 		if c.Rank() == 0 {
-			os.Remove(mp + ".tmp")
+			if rerr := os.Remove(mp + ".tmp"); rerr != nil && !os.IsNotExist(rerr) {
+				err = fmt.Errorf("%w (and removing %s.tmp failed: %v)", err, mp, rerr)
+			}
 		}
 		return fmt.Errorf("ckpt: write %s: %w", base, err)
 	}
@@ -108,6 +249,15 @@ func Write(c *par.Comm, base string, meta Meta, loc *Local) error {
 			err = fmt.Errorf("write failed on a peer rank")
 		}
 		return fail(err)
+	}
+	// Fault point: corrupt the fully written, synced temporary file so
+	// the rename publishes a truncated rank file whose CRC cannot match.
+	for _, in := range inj {
+		if in.Fire(fault.CkptTruncate, "") {
+			if st, serr := os.Stat(rp + ".tmp"); serr == nil {
+				os.Truncate(rp+".tmp", st.Size()/2)
+			}
+		}
 	}
 	err = os.Rename(rp+".tmp", rp)
 	if par.Allreduce(c, err != nil, func(a, b bool) bool { return a || b }) {
@@ -127,7 +277,22 @@ func Write(c *par.Comm, base string, meta Meta, loc *Local) error {
 		}
 		return fail(err)
 	}
+	if c.Rank() == 0 {
+		syncDir(filepath.Dir(base))
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so the renames within it are durable;
+// best-effort (some filesystems reject directory fsync).
+func syncDir(dir string) {
+	if dir == "" {
+		dir = "."
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
 }
 
 func writeMeta(path string, meta Meta) error {
@@ -135,7 +300,19 @@ func writeMeta(path string, meta Meta) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // ReadMeta loads the snapshot description. Callable before any par.Run —
@@ -155,28 +332,33 @@ func ReadMeta(base string) (Meta, error) {
 	return m, nil
 }
 
-func writeRank(path string, meta Meta, rank int, loc *Local) error {
+// writeRank serializes one rank's snapshot slice and returns the CRC32
+// trailer it stamped. The file is fsynced before returning, so a
+// successful return means the bytes are durable at path.
+func writeRank(path string, meta Meta, rank int, loc *Local) (uint32, error) {
 	dim := meta.Dim
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer f.Close()
-	w := bufio.NewWriter(f)
+	bw := bufio.NewWriter(f)
+	crc := crc32.NewIEEE()
+	w := io.MultiWriter(bw, crc)
 	le := binary.LittleEndian
 	if _, err := w.Write(magic[:]); err != nil {
-		return err
+		return 0, err
 	}
 	hdr := []uint32{Version, uint32(dim), uint32(rank), uint32(meta.Ranks), uint32(meta.Step)}
 	if err := binary.Write(w, le, hdr); err != nil {
-		return err
+		return 0, err
 	}
 	ne, nn := len(loc.Elems), len(loc.Keys)
 	if len(loc.ElemCn) != ne || len(loc.PhiMu) != 2*nn || len(loc.Vel) != dim*nn || len(loc.P) != nn {
-		return fmt.Errorf("ckpt: local snapshot slice lengths inconsistent (ne=%d nn=%d)", ne, nn)
+		return 0, fmt.Errorf("ckpt: local snapshot slice lengths inconsistent (ne=%d nn=%d)", ne, nn)
 	}
 	if err := binary.Write(w, le, []uint64{uint64(ne), uint64(nn)}); err != nil {
-		return err
+		return 0, err
 	}
 	ex := make([]uint32, 3*ne)
 	lv := make([]uint8, ne)
@@ -190,20 +372,49 @@ func writeRank(path string, meta Meta, rank int, loc *Local) error {
 	}
 	for _, part := range []any{ex, lv, loc.ElemCn, kx, loc.PhiMu, loc.Vel, loc.P} {
 		if err := binary.Write(w, le, part); err != nil {
-			return err
+			return 0, err
 		}
 	}
-	return w.Flush()
+	// The trailer is the CRC of everything before it (written to the file
+	// only, not folded into itself).
+	sum := crc.Sum32()
+	if err := binary.Write(bw, le, sum); err != nil {
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		return 0, err
+	}
+	return sum, nil
 }
 
-func readRank(path string, meta Meta) (*Local, error) {
+// readRank parses and integrity-checks one rank file: magic, version,
+// dim/ranks/step stamps, size-bounded counts, and the CRC32 trailer —
+// also cross-checked against meta.RankCRCs when the meta carries one for
+// this writer rank, which catches an internally consistent file swapped
+// in from another generation.
+func readRank(path string, meta Meta, writerRank int) (*Local, error) {
 	dim := meta.Dim
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	r := bufio.NewReader(f)
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < 4+5*4+2*8+4 {
+		return nil, fmt.Errorf("ckpt: %s truncated: %d bytes is smaller than the header", path, st.Size())
+	}
+	// Everything before the 4-byte trailer feeds the CRC via the tee; the
+	// parse below reads through r, and the drain after it covers payload
+	// bytes the parse did not consume.
+	crc := crc32.NewIEEE()
+	body := io.LimitReader(f, st.Size()-4)
+	r := bufio.NewReader(io.TeeReader(body, crc))
 	le := binary.LittleEndian
 	var mg [4]byte
 	if _, err := io.ReadFull(r, mg[:]); err != nil {
@@ -239,10 +450,6 @@ func readRank(path string, meta Meta) (*Local, error) {
 	// record is >= 21 bytes and every node record >= 36, so corrupted
 	// counts in an otherwise well-formed header fail loudly here instead
 	// of triggering an allocation larger than the file itself.
-	st, err := f.Stat()
-	if err != nil {
-		return nil, err
-	}
 	if sz[0] > uint64(st.Size())/21 || sz[1] > uint64(st.Size())/36 {
 		return nil, fmt.Errorf("ckpt: %s: corrupt record counts (%d elems, %d nodes in a %d-byte file)",
 			path, sz[0], sz[1], st.Size())
@@ -261,6 +468,23 @@ func readRank(path string, meta Meta) (*Local, error) {
 		if err := binary.Read(r, le, part); err != nil {
 			return nil, fmt.Errorf("ckpt: %s truncated: %w", path, err)
 		}
+	}
+	// Finish the CRC over any remaining pre-trailer bytes, then check the
+	// trailer. A truncated or bit-flipped payload lands here.
+	if _, err := io.Copy(io.Discard, r); err != nil {
+		return nil, err
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(f, trailer[:]); err != nil {
+		return nil, fmt.Errorf("ckpt: %s: missing CRC trailer: %w", path, err)
+	}
+	stored := le.Uint32(trailer[:])
+	if sum := crc.Sum32(); stored != sum {
+		return nil, fmt.Errorf("ckpt: %s: CRC mismatch (stored %08x, computed %08x) — corrupt snapshot", path, stored, sum)
+	}
+	if len(meta.RankCRCs) > writerRank && meta.RankCRCs[writerRank] != stored {
+		return nil, fmt.Errorf("ckpt: %s: CRC %08x does not match the meta's %08x — rank file from another generation",
+			path, stored, meta.RankCRCs[writerRank])
 	}
 	loc.Elems = make([]sfc.Octant, ne)
 	for i := range loc.Elems {
@@ -287,7 +511,7 @@ func Read(c *par.Comm, base string, meta Meta) (*Local, error) {
 	var err error
 	for i := lo; i < hi && err == nil; i++ {
 		var loc *Local
-		loc, err = readRank(rankPath(base, i), meta)
+		loc, err = readRank(rankPath(base, i), meta, i)
 		if err != nil {
 			break
 		}

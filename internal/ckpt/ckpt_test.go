@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"proteus/internal/fault"
 	"proteus/internal/mesh"
 	"proteus/internal/par"
 	"proteus/internal/sfc"
@@ -169,4 +170,197 @@ func TestVersionAndCorruptionRejected(t *testing.T) {
 			panic("corrupted rank file accepted")
 		}
 	})
+}
+
+// writeGen writes one synthetic snapshot generation at the given step
+// and rank count (up to 4 ranks in 2D: two level-2 quadrants per rank,
+// SFC-ordered across ranks taken in order).
+func writeGen(t *testing.T, base string, step, ranks int) {
+	t.Helper()
+	par.Run(ranks, func(c *par.Comm) {
+		root := sfc.Root(2)
+		loc := &Local{}
+		for ch := 0; ch < 2; ch++ {
+			loc.Elems = append(loc.Elems, root.Child(c.Rank()).Child(ch))
+			loc.ElemCn = append(loc.ElemCn, float64(100*c.Rank()+ch))
+		}
+		for i := 0; i < 3; i++ {
+			loc.Keys = append(loc.Keys, mesh.NodeKey{X: uint32(c.Rank()*10 + i), Y: uint32(i)})
+			loc.PhiMu = append(loc.PhiMu, float64(c.Rank())+0.1, float64(i)+0.2)
+			loc.Vel = append(loc.Vel, float64(c.Rank()*i), -float64(i))
+			loc.P = append(loc.P, float64(c.Rank())*1e-3+float64(i))
+		}
+		meta := Meta{Dim: 2, Step: step, Time: float64(step) * 1e-3}
+		if err := Write(c, GenBase(base, step), meta, loc); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// TestGenerationsAndRotate checks the generation listing order and that
+// Rotate prunes oldest-first, meta and rank files both.
+func TestGenerationsAndRotate(t *testing.T) {
+	base := t.TempDir() + "/ck"
+	for _, step := range []int{2, 4, 6, 8, 10} {
+		writeGen(t, base, step, 2)
+	}
+	gens := Generations(base)
+	if len(gens) != 5 {
+		t.Fatalf("listed %d generations, want 5", len(gens))
+	}
+	for i, step := range []int{2, 4, 6, 8, 10} {
+		if gens[i] != GenBase(base, step) {
+			t.Fatalf("generation %d is %s, want %s (oldest first)", i, gens[i], GenBase(base, step))
+		}
+	}
+	if err := Rotate(base, 2); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	gens = Generations(base)
+	if len(gens) != 2 || gens[0] != GenBase(base, 8) || gens[1] != GenBase(base, 10) {
+		t.Fatalf("after Rotate(2): %v", gens)
+	}
+	// The pruned generations' rank files are gone too, not just the metas.
+	for _, step := range []int{2, 4, 6} {
+		for r := 0; r < 2; r++ {
+			if _, err := os.Stat(rankPath(GenBase(base, step), r)); err == nil {
+				t.Errorf("rotated generation g%d left rank file %d behind", step, r)
+			}
+		}
+	}
+	if err := Rotate(base, 0); err != nil || len(Generations(base)) != 2 {
+		t.Fatalf("Rotate(0) must keep everything: %v %v", err, Generations(base))
+	}
+}
+
+// TestReadLatestGoodFallsBack corrupts the newest generation in the ways
+// a real crash or disk fault would — truncation mid-payload, a flipped
+// payload byte, a deleted meta — and checks that ReadLatestGood lands on
+// the previous intact generation and that the resolved snapshot reads
+// back cleanly at 1, 2 and 4 ranks.
+func TestReadLatestGoodFallsBack(t *testing.T) {
+	corruptions := []struct {
+		name string
+		do   func(t *testing.T, gen string)
+	}{
+		{"truncate-mid-payload", func(t *testing.T, gen string) {
+			p := rankPath(gen, 0)
+			st, err := os.Stat(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(p, st.Size()/2); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"flip-payload-byte", func(t *testing.T, gen string) {
+			p := rankPath(gen, 0)
+			b, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[len(b)/2] ^= 0x40
+			if err := os.WriteFile(p, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"delete-meta", func(t *testing.T, gen string) {
+			if err := os.Remove(metaPath(gen)); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, writerRanks := range []int{1, 2, 4} {
+		for _, cr := range corruptions {
+			t.Run(fmt.Sprintf("%dranks/%s", writerRanks, cr.name), func(t *testing.T) {
+				base := t.TempDir() + "/ck"
+				writeGen(t, base, 3, writerRanks)
+				writeGen(t, base, 6, writerRanks)
+				cr.do(t, GenBase(base, 6))
+				meta, rb, err := ReadLatestGood(base)
+				if err != nil {
+					t.Fatalf("ReadLatestGood: %v", err)
+				}
+				if meta.Step != 3 || rb != GenBase(base, 3) {
+					t.Fatalf("resolved to %s (step %d), want the intact step-3 generation", rb, meta.Step)
+				}
+				par.Run(writerRanks, func(c *par.Comm) {
+					if _, err := Read(c, rb, meta); err != nil {
+						panic(err)
+					}
+				})
+			})
+		}
+	}
+}
+
+// TestReadLatestGoodAllCorrupt checks the terminal error when every
+// generation is broken.
+func TestReadLatestGoodAllCorrupt(t *testing.T) {
+	base := t.TempDir() + "/ck"
+	if _, _, err := ReadLatestGood(base); err == nil {
+		t.Fatal("empty base resolved")
+	}
+	writeGen(t, base, 2, 1)
+	if err := os.Truncate(rankPath(GenBase(base, 2), 0), 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadLatestGood(base); err == nil {
+		t.Fatal("all-corrupt base resolved")
+	}
+}
+
+// TestMetaCRCCatchesSwappedRankFile builds two internally consistent
+// snapshots with identical headers but different payloads, then swaps a
+// rank file between them: the file's own CRC trailer still matches its
+// contents, so only the meta's CRC list can catch the mix-up.
+func TestMetaCRCCatchesSwappedRankFile(t *testing.T) {
+	dir := t.TempDir()
+	a, b := dir+"/a", dir+"/b"
+	par.Run(1, func(c *par.Comm) {
+		la, lb := synthLocal(0, 2), synthLocal(0, 2)
+		lb.P[0] += 0.5 // same shape, different payload
+		if err := Write(c, a, Meta{Dim: 2, Step: 4}, la); err != nil {
+			panic(err)
+		}
+		if err := Write(c, b, Meta{Dim: 2, Step: 4}, lb); err != nil {
+			panic(err)
+		}
+	})
+	rb, err := os.ReadFile(rankPath(b, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(rankPath(a, 0), rb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(a); err == nil {
+		t.Fatal("swapped-in rank file with a self-consistent CRC accepted")
+	}
+}
+
+// TestInjectedTruncationIsTornWrite drives the CkptTruncate fault point
+// through Write and checks the result is exactly a torn write: the
+// generation publishes, but Verify rejects it and ReadLatestGood walks
+// back to the previous one.
+func TestInjectedTruncationIsTornWrite(t *testing.T) {
+	base := t.TempDir() + "/ck"
+	writeGen(t, base, 2, 2)
+	par.Run(2, func(c *par.Comm) {
+		inj := fault.New(1, c.Rank(), fault.Fault{Point: fault.CkptTruncate, Step: 1, Rank: 1})
+		meta := Meta{Dim: 2, Step: 4}
+		if err := Write(c, GenBase(base, 4), meta, synthLocal(c.Rank(), 2), inj); err != nil {
+			panic(err)
+		}
+	})
+	if len(Generations(base)) != 2 {
+		t.Fatalf("truncated write did not publish a generation: %v", Generations(base))
+	}
+	if err := Verify(GenBase(base, 4)); err == nil {
+		t.Fatal("truncated generation passed Verify")
+	}
+	meta, rb, err := ReadLatestGood(base)
+	if err != nil || meta.Step != 2 || rb != GenBase(base, 2) {
+		t.Fatalf("fallback resolved %s (step %d, err %v), want the step-2 generation", rb, meta.Step, err)
+	}
 }

@@ -6,7 +6,6 @@ import (
 	"proteus/internal/ckpt"
 	"proteus/internal/octree"
 	"proteus/internal/par"
-	"proteus/internal/transfer"
 )
 
 // Checkpoint writes a restartable snapshot of the simulation under path
@@ -35,7 +34,7 @@ func (s *Simulation) Checkpoint(base string) error {
 		Vel:    s.Solver.Vel[:m.Dim*m.NumOwned],
 		P:      s.Solver.P[:m.NumOwned],
 	}
-	return ckpt.Write(s.Comm, base, meta, loc)
+	return ckpt.Write(s.Comm, base, meta, loc, s.Fault)
 }
 
 // Restore rebuilds a simulation from a snapshot written by Checkpoint,
@@ -66,28 +65,6 @@ func Restore(c *par.Comm, cfg Config, base string) (*Simulation, error) {
 	local := octree.PartitionWeighted(c, loc.Elems, nil)
 	s := NewOnLeaves(c, cfg, local)
 	s.ScenarioName, s.PresetName = meta.Scenario, meta.Preset
-
-	cn := transfer.MigrateElem(c, loc.Elems, loc.ElemCn, s.Mesh.Elems)
-	copy(s.Solver.ElemCn, cn)
-
-	dim := cfg.Dim
-	tot := 2 + dim + 1
-	packed := make([]float64, len(loc.Keys)*tot)
-	for i := range loc.Keys {
-		off := i * tot
-		copy(packed[off:off+2], loc.PhiMu[2*i:2*i+2])
-		copy(packed[off+2:off+2+dim], loc.Vel[dim*i:dim*(i+1)])
-		packed[off+2+dim] = loc.P[i]
-	}
-	transfer.MigrateKeyedNodal(s.Mesh, loc.Keys, packed, []transfer.Field{
-		{Dst: s.Solver.PhiMu, Ndof: 2},
-		{Dst: s.Solver.Vel, Ndof: dim},
-		{Dst: s.Solver.P, Ndof: 1},
-	})
-
-	s.StepIndex = meta.Step
-	s.Time = meta.Time
-	s.RemeshCount = meta.RemeshCount
-	s.T = meta.Timers
+	s.applySnapshot(loc, meta)
 	return s, nil
 }

@@ -14,6 +14,7 @@ import (
 
 	"proteus/internal/chns"
 	"proteus/internal/detect"
+	"proteus/internal/fault"
 	"proteus/internal/mesh"
 	"proteus/internal/octree"
 	"proteus/internal/par"
@@ -95,6 +96,23 @@ type Simulation struct {
 	StepIndex int
 	Time      float64
 
+	// DtNominal is the configured (un-backed-off) time step; the retry
+	// loop halves the live dt under it on failure and relaxes back toward
+	// it after a streak of clean steps.
+	DtNominal float64
+
+	// Fault is this rank's deterministic fault injector (nil: inert).
+	// Step forwards the step index to it and hands it to the solver and
+	// the checkpoint writer, so every injection point sees one clock.
+	Fault *fault.Injector
+
+	// Recovery bookkeeping maintained by RunUntil and reported through
+	// Stats: total rolled-back retries, checkpoint fallbacks, and the
+	// per-event history.
+	Retries       int
+	CkptFallbacks int
+	Recovery      []RecoveryEvent
+
 	// MeshEpoch counts mesh generations: it starts at 0 and increments on
 	// every adaptation round that actually changed the mesh. The solver
 	// and its assemblers key their persistent sparsity and assembly plans
@@ -132,7 +150,11 @@ func New(c *par.Comm, cfg Config, phi0 func(x, y, z float64) float64) *Simulatio
 	local = octree.PartitionWeighted(c, local, nil)
 	s := NewOnLeaves(c, cfg, local)
 	s.Solver.SetPhi(phi0)
-	s.Solver.InitMuFromPhi()
+	if err := s.Solver.InitMuFromPhi(); err != nil {
+		// The init mass solve is hardwired to CG; an error here is a
+		// programming bug, not a run hazard.
+		panic(err)
+	}
 	return s
 }
 
@@ -143,7 +165,7 @@ func New(c *par.Comm, cfg Config, phi0 func(x, y, z float64) float64) *Simulatio
 func NewOnLeaves(c *par.Comm, cfg Config, local []sfc.Octant) *Simulation {
 	cfg.defaults()
 	m := mesh.New(c, cfg.Dim, local)
-	s := &Simulation{Comm: c, Cfg: cfg, Mesh: m}
+	s := &Simulation{Comm: c, Cfg: cfg, Mesh: m, DtNominal: cfg.Opt.Dt}
 	s.Solver = chns.NewSolver(m, cfg.Params, cfg.Opt)
 	return s
 }
@@ -188,28 +210,43 @@ func partitionSlice(leaves []sfc.Octant, rank, p int) []sfc.Octant {
 	return out
 }
 
-// Step advances one time block, remeshing first when due. Collective.
-func (s *Simulation) Step() {
+// Step advances one time block, remeshing first when due. A divergence
+// error (*chns.ErrDiverged) leaves the step index and time untouched —
+// but the mesh and fields possibly mid-step — so the caller owns
+// rollback (RunUntil does it from an in-memory snapshot). The verdict is
+// globally consistent across ranks. Collective.
+func (s *Simulation) Step() error {
+	s.Fault.SetStep(s.StepIndex)
+	s.Solver.Fault = s.Fault
 	if s.StepIndex%s.Cfg.RemeshEvery == 0 && s.StepIndex > 0 {
 		s.Adapt()
 	}
+	var err error
 	if s.Cfg.PrescribedVel != nil {
 		t := s.Time
-		s.Solver.StepCHWithVelocity(func(x, y, z float64) (float64, float64, float64) {
+		_, err = s.Solver.StepCHWithVelocity(func(x, y, z float64) (float64, float64, float64) {
 			return s.Cfg.PrescribedVel(x, y, z, t)
 		})
 	} else {
-		s.Solver.Step()
+		_, err = s.Solver.Step()
+	}
+	if err != nil {
+		return err
 	}
 	s.StepIndex++
 	s.Time += s.Cfg.Opt.Dt
+	return nil
 }
 
-// Run advances n steps.
-func (s *Simulation) Run(n int) {
+// Run advances n steps, stopping at the first failed one (no retry —
+// RunUntil owns recovery).
+func (s *Simulation) Run(n int) error {
 	for i := 0; i < n; i++ {
-		s.Step()
+		if err := s.Step(); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Adapt runs detection and the multi-level remesh pipeline, then moves

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -28,8 +29,9 @@ type RunOptions struct {
 	// Keying the cadence to the absolute index — not the steps done in
 	// this call — makes a restarted run snapshot at exactly the same
 	// steps as an uninterrupted one. FinalCkpt writes one after the loop
-	// ends; each write overwrites the previous snapshot at CkptBase, so
-	// the base always holds the latest.
+	// ends. Each write creates a step-stamped generation under CkptBase
+	// (CkptBase-g<step>); ckpt.ReadLatestGood resolves the base back to
+	// the newest intact one.
 	CkptEvery int
 	CkptBase  string
 	FinalCkpt bool
@@ -41,6 +43,26 @@ type RunOptions struct {
 	VTKEvery int
 	VTKBase  string
 	FinalVTK bool
+
+	// CkptRetain bounds the number of snapshot generations kept under
+	// CkptBase (0: keep all). Each periodic checkpoint writes a fresh
+	// generation (CkptBase-g<step>) and prunes the oldest beyond this.
+	CkptRetain int
+
+	// MaxRetries is the per-step retry budget for recoverable failures
+	// (*chns.ErrDiverged): each retry rolls the state back to the
+	// pre-step snapshot and halves dt (down to DtFloor). 0 disables
+	// recovery — the first divergence fails the run.
+	MaxRetries int
+	// DtFloor bounds the back-off (default DtNominal/16).
+	DtFloor float64
+	// RelaxAfter is the clean-step streak after which a backed-off dt
+	// doubles back toward nominal (default 4).
+	RelaxAfter int
+	// MaxCkptFallbacks bounds how many times an exhausted retry budget
+	// may fall back to the last intact on-disk checkpoint under CkptBase
+	// (default 1; < 0 disables the fallback).
+	MaxCkptFallbacks int
 
 	// OnStep runs after every step on every rank (collective calls are
 	// safe inside it) — the hook for per-step stats and logging.
@@ -57,7 +79,19 @@ type RunResult struct {
 
 // RunUntil owns the run loop every driver shares: it advances the
 // simulation until the step or wall-clock budget is exhausted, firing
-// periodic checkpoints, VTK dumps and the per-step callback. Collective.
+// periodic checkpoints, VTK dumps and the per-step callback.
+//
+// Recovery (MaxRetries > 0): every step is preceded by an in-memory
+// state snapshot. A step failing with *chns.ErrDiverged rolls back to
+// the snapshot and retries at half the dt (bounded by DtFloor); after
+// RelaxAfter clean steps a backed-off dt doubles back toward nominal.
+// When a step exhausts its retry budget, the run falls back to the last
+// intact on-disk checkpoint under CkptBase (up to MaxCkptFallbacks
+// times) and replays from there — the step budget is an absolute target
+// computed at entry, so replayed steps do not shorten the run (StepsDone
+// counts every successful step including replays). Exhaustion of the
+// whole ladder returns *ErrRunFailed carrying the recovery history,
+// which also accumulates on the Simulation for Stats. Collective.
 func (s *Simulation) RunUntil(o RunOptions) (RunResult, error) {
 	var res RunResult
 	if o.Steps <= 0 && o.MaxWall <= 0 {
@@ -69,10 +103,36 @@ func (s *Simulation) RunUntil(o RunOptions) (RunResult, error) {
 	if o.VTKEvery > 0 && o.VTKBase == "" {
 		return res, fmt.Errorf("core: RunUntil: VTKEvery set without VTKBase")
 	}
+	if s.DtNominal == 0 {
+		s.DtNominal = s.Cfg.Opt.Dt
+	}
+	dtFloor := o.DtFloor
+	if dtFloor == 0 {
+		dtFloor = s.DtNominal / 16
+	}
+	relaxAfter := o.RelaxAfter
+	if relaxAfter == 0 {
+		relaxAfter = 4
+	}
+	maxFallbacks := o.MaxCkptFallbacks
+	if maxFallbacks == 0 {
+		maxFallbacks = 1
+	}
 	start := time.Now()
 	lastCkpt := -1
+	// The step budget is an absolute target: a checkpoint fallback
+	// rewinds StepIndex, and the rewound steps must be replayed rather
+	// than silently skipped.
+	targetStep := -1
+	if o.Steps > 0 {
+		targetStep = s.StepIndex + o.Steps
+	}
+	var snap stepSnapshot
+	retries := 0     // retries spent on the step currently being attempted
+	cleanStreak := 0 // consecutive clean steps while dt is backed off
+	fallbacks := 0
 	for {
-		if o.Steps > 0 && res.StepsDone >= o.Steps {
+		if targetStep >= 0 && s.StepIndex >= targetStep {
 			res.Stopped = "steps"
 			break
 		}
@@ -83,8 +143,67 @@ func (s *Simulation) RunUntil(o RunOptions) (RunResult, error) {
 				break
 			}
 		}
-		s.Step()
+		if o.MaxRetries > 0 {
+			s.saveSnapshot(&snap)
+		}
+		if err := s.Step(); err != nil {
+			var div *chns.ErrDiverged
+			if o.MaxRetries <= 0 || !errors.As(err, &div) {
+				return res, err
+			}
+			cleanStreak = 0
+			if retries < o.MaxRetries {
+				retries++
+				s.rollback(&snap)
+				dt := s.Cfg.Opt.Dt / 2
+				if dt < dtFloor {
+					dt = dtFloor
+				}
+				s.SetDt(dt)
+				s.Retries++
+				s.Recovery = append(s.Recovery, RecoveryEvent{
+					Step: snap.stepIndex, Stage: string(div.Stage), Kind: div.Kind,
+					Dt: dt, Retry: retries,
+					Residual: div.Result.Residual, Iterations: div.Result.Iterations,
+				})
+				continue
+			}
+			// Retry budget exhausted: rewind to the last intact on-disk
+			// snapshot and replay with a fresh budget at nominal dt.
+			if o.CkptBase == "" || fallbacks >= maxFallbacks {
+				return res, &ErrRunFailed{Step: snap.stepIndex, Err: err, Recovery: s.Recovery}
+			}
+			fallbacks++
+			if rerr := s.restoreFromLatest(o.CkptBase); rerr != nil {
+				return res, &ErrRunFailed{
+					Step:     snap.stepIndex,
+					Err:      fmt.Errorf("%v (checkpoint fallback also failed: %w)", err, rerr),
+					Recovery: s.Recovery,
+				}
+			}
+			s.SetDt(s.DtNominal)
+			retries = 0
+			s.CkptFallbacks++
+			s.Recovery = append(s.Recovery, RecoveryEvent{
+				Step: snap.stepIndex, Stage: string(div.Stage), Kind: "ckpt-fallback",
+				Dt:       s.DtNominal,
+				Residual: div.Result.Residual, Iterations: div.Result.Iterations,
+			})
+			continue
+		}
 		res.StepsDone++
+		retries = 0
+		if s.Cfg.Opt.Dt < s.DtNominal {
+			cleanStreak++
+			if cleanStreak >= relaxAfter {
+				dt := s.Cfg.Opt.Dt * 2
+				if dt > s.DtNominal {
+					dt = s.DtNominal
+				}
+				s.SetDt(dt)
+				cleanStreak = 0
+			}
+		}
 		if o.OnStep != nil {
 			o.OnStep(s)
 		}
@@ -92,7 +211,7 @@ func (s *Simulation) RunUntil(o RunOptions) (RunResult, error) {
 		// restarted mid-interval must keep snapshotting at the same
 		// absolute steps as the uninterrupted run it resumes.
 		if o.CkptEvery > 0 && s.StepIndex%o.CkptEvery == 0 {
-			if err := s.Checkpoint(o.CkptBase); err != nil {
+			if err := s.CheckpointGeneration(o.CkptBase, o.CkptRetain); err != nil {
 				return res, err
 			}
 			lastCkpt = s.StepIndex
@@ -107,7 +226,7 @@ func (s *Simulation) RunUntil(o RunOptions) (RunResult, error) {
 	// Skip the final write when the periodic cadence just snapshotted
 	// this very step — it would serialize identical state twice.
 	if o.FinalCkpt && o.CkptBase != "" && lastCkpt != s.StepIndex {
-		if err := s.Checkpoint(o.CkptBase); err != nil {
+		if err := s.CheckpointGeneration(o.CkptBase, o.CkptRetain); err != nil {
 			return res, err
 		}
 	}
@@ -142,6 +261,11 @@ type RunStats struct {
 	PartitionOnlyRounds int         `json:"partition_only_rounds"`
 	LevelHistogram      []float64   `json:"level_histogram"`
 	Timers              chns.Timers `json:"timers"`
+	// Recovery accounting (see RunUntil): rolled-back retries, checkpoint
+	// fallbacks, and the per-event history.
+	Retries       int             `json:"retries"`
+	CkptFallbacks int             `json:"ckpt_fallbacks"`
+	Recovery      []RecoveryEvent `json:"recovery,omitempty"`
 }
 
 // Stats assembles the run summary. Collective (global reductions); every
@@ -161,6 +285,9 @@ func (s *Simulation) Stats() RunStats {
 		PartitionOnlyRounds: t.RemeshStages.PartitionOnly,
 		LevelHistogram:      s.LevelHistogram(),
 		Timers:              t,
+		Retries:             s.Retries,
+		CkptFallbacks:       s.CkptFallbacks,
+		Recovery:            s.Recovery,
 	}
 }
 

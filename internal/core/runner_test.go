@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"proteus/internal/chns"
+	"proteus/internal/ckpt"
 	"proteus/internal/par"
 )
 
@@ -129,13 +130,15 @@ func TestRunUntil(t *testing.T) {
 			panic(fmt.Sprintf("wall budget: %+v", res))
 		}
 	})
-	for _, f := range []string{"ck.meta.json", "ck_r0000.ck", "ck_r0001.ck", "v_s000003.pvtu"} {
+	// Periodic checkpoints land as step-stamped generations under the base.
+	for _, f := range []string{"ck-g000000002.meta.json", "ck-g000000002_r0000.ck", "ck-g000000002_r0001.ck", "v_s000003.pvtu"} {
 		if _, err := os.Stat(dir + "/" + f); err != nil {
 			t.Errorf("periodic output %s missing: %v", f, err)
 		}
 	}
-	if b, err := os.ReadFile(dir + "/ck.meta.json"); err != nil || !strings.Contains(string(b), "\"step\": 2") {
-		t.Errorf("checkpoint cadence wrong (want a step-2 snapshot): %v %s", err, b)
+	meta, _, err := ckpt.ReadLatestGood(dir + "/ck")
+	if err != nil || meta.Step != 2 {
+		t.Errorf("checkpoint cadence wrong (want the latest snapshot at step 2): %v %+v", err, meta)
 	}
 }
 
@@ -169,7 +172,13 @@ func TestRestartCadenceMatchesUninterrupted(t *testing.T) {
 		if _, err := sim.RunUntil(RunOptions{Steps: 3, FinalCkpt: true, CkptBase: dirB + "/restart"}); err != nil {
 			panic(err)
 		}
-		restored, err := Restore(c, cfg, dirB+"/restart")
+		// The final checkpoint landed as a step-stamped generation; resolve
+		// the base to the newest intact one the way the drivers do.
+		_, rb, err := ckpt.ReadLatestGood(dirB + "/restart")
+		if err != nil {
+			panic(err)
+		}
+		restored, err := Restore(c, cfg, rb)
 		if err != nil {
 			panic(err)
 		}
@@ -201,9 +210,9 @@ func TestRestartCadenceMatchesUninterrupted(t *testing.T) {
 		}
 	}
 	for _, dir := range []string{dirA, dirB} {
-		b, err := os.ReadFile(dir + "/ck.meta.json")
-		if err != nil || !strings.Contains(string(b), "\"step\": 6") {
-			t.Errorf("%s: last periodic checkpoint not at step 6: %v %s", dir, err, b)
+		meta, _, err := ckpt.ReadLatestGood(dir + "/ck")
+		if err != nil || meta.Step != 6 {
+			t.Errorf("%s: last periodic checkpoint not at step 6: %v %+v", dir, err, meta)
 		}
 	}
 }

@@ -329,7 +329,7 @@ func solvePoisson(c *par.Comm, dim, base, fine int) float64 {
 	}
 	x := m.NewVec(1)
 	ksp := &la.KSP{Op: K, PC: la.NewPCBJacobiILU0(K), Red: m, Type: la.CG, Rtol: 1e-10}
-	res := ksp.Solve(b, x)
+	res, _ := ksp.Solve(b, x)
 	if !res.Converged {
 		panic("poisson CG did not converge")
 	}

@@ -31,6 +31,28 @@ const (
 	GMRES  Method = "gmres"
 )
 
+// Valid reports whether m names a known Krylov method (the empty string
+// is the documented IBiCGS default).
+func (m Method) Valid() bool {
+	switch m {
+	case CG, BiCGS, IBiCGS, GMRES, "":
+		return true
+	}
+	return false
+}
+
+// ErrUnknownMethod reports a KSP configured with a Type that names no
+// implemented Krylov method. It is returned from Solve (and from
+// Newton.Solve for the inner method) instead of panicking at solve time,
+// so a mistyped per-stage config surfaces as a recoverable run error.
+type ErrUnknownMethod struct {
+	Type Method
+}
+
+func (e *ErrUnknownMethod) Error() string {
+	return fmt.Sprintf("la: unknown KSP type %q (known: cg, bcgs, ibcgs, gmres)", e.Type)
+}
+
 // KSP is a configured Krylov solve, mirroring the PETSc KSP object. A KSP
 // owns a persistent workspace: the first Solve for a given operator shape
 // allocates every work vector, and all later Solves reuse them, so the
@@ -83,21 +105,24 @@ func (k *KSP) defaults() {
 
 // Solve solves Op*x = b, using x as the initial guess, and overwrites x
 // with the solution. b and x are full local vectors; only owned segments
-// are read/written by the solver itself.
-func (k *KSP) Solve(b, x []float64) Result {
+// are read/written by the solver itself. The error reports configuration
+// problems (an unknown Type) — numerical non-convergence is reported
+// through Result.Converged, not the error.
+func (k *KSP) Solve(b, x []float64) (Result, error) {
+	if !k.Type.Valid() {
+		return Result{}, &ErrUnknownMethod{Type: k.Type}
+	}
 	k.defaults()
 	k.ensureWS()
 	switch k.Type {
 	case CG:
-		return k.cg(b, x)
+		return k.cg(b, x), nil
 	case BiCGS:
-		return k.bicgstab(b, x, false)
-	case IBiCGS, "":
-		return k.bicgstab(b, x, true)
+		return k.bicgstab(b, x, false), nil
 	case GMRES:
-		return k.gmres(b, x)
-	default:
-		panic(fmt.Sprintf("la: unknown KSP type %q", k.Type))
+		return k.gmres(b, x), nil
+	default: // IBiCGS and the "" default
+		return k.bicgstab(b, x, true), nil
 	}
 }
 

@@ -1,6 +1,7 @@
 package la
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -54,7 +55,10 @@ func TestKSPConvergesToKnownSolution(t *testing.T) {
 		b := applyInto(tc.op, want)
 		x := make([]float64, n)
 		k := &KSP{Op: tc.op, PC: NewPCBJacobiILU0(tc.op), Type: tc.method, Rtol: 1e-12, Atol: 1e-14}
-		res := k.Solve(b, x)
+		res, err := k.Solve(b, x)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
 		if !res.Converged {
 			t.Fatalf("%s: no convergence: %+v", tc.name, res)
 		}
@@ -120,12 +124,12 @@ func TestShardedSolveMatchesSerialBitwise(t *testing.T) {
 		m.SetPool(nil)
 		xs := make([]float64, n)
 		ks := &KSP{Op: m, PC: pc, Type: method, Rtol: 1e-10}
-		rs := ks.Solve(b, xs)
+		rs, _ := ks.Solve(b, xs)
 
 		m.SetPool(pool)
 		xp := make([]float64, n)
 		kp := &KSP{Op: m, PC: pc, Type: method, Pool: pool, Rtol: 1e-10}
-		rp := kp.Solve(b, xp)
+		rp, _ := kp.Solve(b, xp)
 
 		if rs.Iterations != rp.Iterations || rs.Residual != rp.Residual {
 			t.Fatalf("%s: serial %+v vs sharded %+v", method, rs, rp)
@@ -285,4 +289,26 @@ func TestOversizeBlockRejected(t *testing.T) {
 		}
 	}()
 	NewBAIJ(nil, 9, 4, 4)
+}
+
+// TestUnknownMethodTypedError pins the no-panic contract: a KSP (or a
+// Newton wrapping one) configured with an unknown method returns
+// *ErrUnknownMethod instead of panicking, and the empty Type still
+// defaults to IBiCGS.
+func TestUnknownMethodTypedError(t *testing.T) {
+	n := 16
+	op := lap1D(n)
+	b := make([]float64, n)
+	b[0] = 1
+	x := make([]float64, n)
+	k := &KSP{Op: op, Type: Method("frobnicate"), Rtol: 1e-10}
+	_, err := k.Solve(b, x)
+	var ue *ErrUnknownMethod
+	if !errors.As(err, &ue) || ue.Type != "frobnicate" {
+		t.Fatalf("got %v, want *ErrUnknownMethod for frobnicate", err)
+	}
+	k.Type = ""
+	if res, err := k.Solve(b, x); err != nil || !res.Converged {
+		t.Fatalf("empty Type must default to a working method: %v %+v", err, res)
+	}
 }

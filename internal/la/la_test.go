@@ -46,7 +46,10 @@ func TestKSPAllMethodsSolveLaplacian(t *testing.T) {
 		for _, pc := range []PC{PCNone{}, NewPCJacobi(m), NewPCBJacobiILU0(m)} {
 			x := make([]float64, n)
 			k := &KSP{Op: m, PC: pc, Type: method, Rtol: 1e-10, Atol: 1e-12}
-			res := k.Solve(append([]float64(nil), b...), x)
+			res, err := k.Solve(append([]float64(nil), b...), x)
+			if err != nil {
+				t.Fatalf("%s/%T: %v", method, pc, err)
+			}
 			if !res.Converged {
 				t.Fatalf("%s/%T did not converge: %+v", method, pc, res)
 			}
@@ -84,7 +87,7 @@ func TestCGIterationCountsDropWithPC(t *testing.T) {
 	run := func(pc PC) int {
 		x := make([]float64, n)
 		k := &KSP{Op: m, PC: pc, Type: CG, Rtol: 1e-8}
-		res := k.Solve(append([]float64(nil), b...), x)
+		res, _ := k.Solve(append([]float64(nil), b...), x)
 		if !res.Converged {
 			t.Fatal("no convergence")
 		}
@@ -262,7 +265,11 @@ func TestNewtonConverges(t *testing.T) {
 	}
 	x := make([]float64, n)
 	nw := &Newton{Rtol: 1e-12, Atol: 1e-12}
-	if !nw.Solve(q, x) {
+	ok, err := nw.Solve(q, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
 		t.Fatal("Newton did not converge")
 	}
 	r := make([]float64, n)

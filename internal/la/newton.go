@@ -30,17 +30,25 @@ type Newton struct {
 	// Pool shards the inner solver's kernels (see KSP.Pool).
 	Pool *par.Pool
 
-	// Iterations and LinearIterations report the last solve's work.
+	// Iterations and LinearIterations report the last solve's work;
+	// Last is the most recent inner Krylov result, kept so a caller can
+	// attach linear-solver detail to a nonlinear failure report.
 	Iterations       int
 	LinearIterations int
+	Last             Result
 
 	ksp                *KSP
 	r, dx, xTrial, rhs []float64
 	red                [1]float64
 }
 
-// Solve drives F(x) = 0 starting from x. Returns true on convergence.
-func (nw *Newton) Solve(p NewtonProblem, x []float64) bool {
+// Solve drives F(x) = 0 starting from x. The bool reports convergence;
+// the error reports configuration problems (an unknown inner method) —
+// a stagnated Newton iteration is (false, nil), not an error.
+func (nw *Newton) Solve(p NewtonProblem, x []float64) (bool, error) {
+	if !nw.KSP.Valid() {
+		return false, &ErrUnknownMethod{Type: nw.KSP}
+	}
 	if nw.Rtol == 0 {
 		nw.Rtol = 1e-10
 	}
@@ -60,6 +68,7 @@ func (nw *Newton) Solve(p NewtonProblem, x []float64) bool {
 		nw.KSP = BiCGS
 	}
 	nw.Iterations, nw.LinearIterations = 0, 0
+	nw.Last = Result{}
 
 	norm := func(v []float64, n int) float64 {
 		var s float64
@@ -87,7 +96,7 @@ func (nw *Newton) Solve(p NewtonProblem, x []float64) bool {
 	p.Residual(x, r)
 	r0 := norm(r, n)
 	if r0 <= nw.Atol {
-		return true
+		return true, nil
 	}
 	rprev := r0
 	for it := 0; it < nw.MaxIt; it++ {
@@ -105,7 +114,11 @@ func (nw *Newton) Solve(p NewtonProblem, x []float64) bool {
 		ksp := nw.ksp
 		ksp.Op, ksp.PC, ksp.Red, ksp.Pool = op, pc, nw.Red, nw.Pool
 		ksp.Type, ksp.Rtol, ksp.Atol = nw.KSP, nw.LinRtol, nw.Atol*1e-2
-		res := ksp.Solve(rhs, dx)
+		res, err := ksp.Solve(rhs, dx)
+		if err != nil {
+			return false, err
+		}
+		nw.Last = res
 		nw.LinearIterations += res.Iterations
 		// Backtracking line search.
 		lambda := 1.0
@@ -134,8 +147,8 @@ func (nw *Newton) Solve(p NewtonProblem, x []float64) bool {
 			rprev = norm(r, n)
 		}
 		if rprev <= nw.Rtol*r0 || rprev <= nw.Atol {
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }

@@ -94,9 +94,10 @@ func TestCheckpointRestartViaRegistry(t *testing.T) {
 			wantDesc = d
 		}
 	})
-	// The driver-side flow: meta names the scenario, the registry
+	// The driver-side flow: resolve the base to the newest intact
+	// generation, then the meta names the scenario and the registry
 	// rebuilds the non-serializable Config.
-	meta, err := ckpt.ReadMeta(base)
+	meta, base, err := ckpt.ReadLatestGood(base)
 	if err != nil {
 		t.Fatal(err)
 	}
