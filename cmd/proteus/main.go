@@ -18,6 +18,7 @@ import (
 	"os"
 	"time"
 
+	"proteus/internal/chns"
 	"proteus/internal/ckpt"
 	"proteus/internal/core"
 	"proteus/internal/fault"
@@ -44,11 +45,15 @@ func main() {
 	table2 := flag.Bool("table2", false, "print the Table II solver configuration and exit")
 	localCahn := flag.Bool("localcahn", true, "enable local-Cahn detection where the scenario uses it")
 	vecWorkers := flag.Int("vec-workers", 0, "RHS vector-assembly shards (0: match the matrix element loop, 1: serial ablation; results are bitwise identical at any value)")
+	pc := flag.String("pc", "", "NS/PP preconditioner: bjacobi (default) | jacobi | gmg (octree geometric multigrid)")
 	list := flag.Bool("list", false, "list registered scenarios and exit")
 	flag.Parse()
 
+	if !chns.ValidPC(*pc) {
+		fatal(fmt.Errorf("unknown -pc %q (known: bjacobi, jacobi, gmg)", *pc))
+	}
 	if *table2 {
-		printTable2()
+		printTable2(*pc)
 		return
 	}
 	if *list {
@@ -94,6 +99,12 @@ func main() {
 	}
 	if *vecWorkers > 0 {
 		spec.Config.Opt.VecWorkers = *vecWorkers
+	}
+	if *pc != "" {
+		// A solver-path knob like -vec-workers: applies on restart too (the
+		// checkpoint stores state, not preconditioner choice).
+		spec.Config.Opt.PCNS = *pc
+		spec.Config.Opt.PCPP = *pc
 	}
 
 	par.Run(*ranks, func(c *par.Comm) {
@@ -174,12 +185,16 @@ func fatal(err error) {
 	os.Exit(2)
 }
 
-func printTable2() {
+func printTable2(pc string) {
+	nspp := pc
+	if nspp == "" {
+		nspp = "bjacobi"
+	}
 	fmt.Println("Table II — solver and preconditioner per stage (as configured):")
 	fmt.Printf("%-10s %-8s %-10s\n", "stage", "solver", "pc")
 	fmt.Printf("%-10s %-8s %-10s\n", "CH solve", "bcgs", "bjacobi")
-	fmt.Printf("%-10s %-8s %-10s\n", "NS solve", "bcgs", "bjacobi")
-	fmt.Printf("%-10s %-8s %-10s\n", "PP solve", "ibcgs", "bjacobi")
+	fmt.Printf("%-10s %-8s %-10s\n", "NS solve", "bcgs", nspp)
+	fmt.Printf("%-10s %-8s %-10s\n", "PP solve", "ibcgs", nspp)
 	fmt.Printf("%-10s %-8s %-10s\n", "VU solve", "cg", "jacobi")
 	fmt.Println("\nTolerances: linear 1e-8, nonlinear 1e-10 (paper Sec. IV-D).")
 }

@@ -131,18 +131,30 @@ func (p *chProblem) gatherCorners(e int, x []float64, pm, vel []float64) {
 	p.s.M.GatherElem(e, p.s.Vel, p.s.M.Dim, vel)
 }
 
-// Residual implements la.NewtonProblem.
+// Residual implements la.NewtonProblem. The element kernel is the
+// prebuilt s.kCHRes; the iterate reaches it through s.kCHx.
 func (p *chProblem) Residual(x, res []float64) {
 	s := p.s
-	defer timed(&s.T.CH.Vector)()
-	m := s.M
-	m.GhostRead(x, 2)
-	r := s.asmCH.Ref
-	npe := r.NPE
-	s.asmCH.AssembleVectorPlanned(res, func(w, e int, h float64, fe []float64) {
+	t0 := time.Now()
+	s.M.GhostRead(x, 2)
+	s.kCHx = x
+	s.asmCH.AssembleVectorPlanned(res, s.kCHRes)
+	s.T.CH.Vector += time.Since(t0)
+}
+
+// initCHKernels builds the CH residual and Jacobian element kernels once.
+// They capture only the Solver: mesh, reference element, options and the
+// Newton iterate are all read through it at call time, so the kernels
+// survive a Rebind and warm steps allocate nothing.
+func (s *Solver) initCHKernels() {
+	s.kCHRes = func(w, e int, h float64, fe []float64) {
+		p := &s.chProb
+		m := s.M
+		r := s.asmCH.Ref
+		npe := r.NPE
 		sc := s.chRes[w]
 		ops := sc.ops
-		p.gatherCorners(e, x, sc.pm, sc.vel)
+		p.gatherCorners(e, s.kCHx, sc.pm, sc.vel)
 		m.GatherElem(e, p.old, 2, sc.pmOld)
 		for a := 0; a < npe; a++ {
 			sc.phiNew[a] = sc.pm[a*2]
@@ -173,7 +185,32 @@ func (p *chProblem) Residual(x, res []float64) {
 			fe[a*2+1] -= sc.load[a]
 		}
 		addMatVec(fe, 1, 2, ops.Ke, sc.phiNew, -cn*cn, sc.tmp, npe)
-	})
+	}
+	s.kCHJacZip = func(w, e int, h float64, blocks [][]float64) {
+		p := &s.chProb
+		m := s.M
+		sc := &s.chScr[w]
+		m.GatherElem(e, s.kCHx, 2, sc.pm)
+		m.GatherElem(e, s.Vel, m.Dim, sc.vel)
+		p.buildOps(e, h, sc.pm, sc.vel, sc.ops, s.asmCH.WorkN(w))
+		ops := sc.ops
+		cn := s.ElemCn[e]
+		diff := 1 / (s.Par.Pe * cn)
+		th := p.theta
+		npe := s.asmCH.Ref.NPE
+		n2 := npe * npe
+		for i := 0; i < n2; i++ {
+			blocks[0][i] = ops.Me[i]/p.dt + th*ops.Ce[i]
+			blocks[1][i] = th * diff * ops.Kme[i]
+			blocks[2][i] = -ops.Mpp[i] - cn*cn*ops.Ke[i]
+			blocks[3][i] = ops.Me[i]
+		}
+	}
+	s.kCHJac = func(w, e int, h float64, ke []float64) {
+		sc := &s.chScr[w]
+		s.kCHJacZip(w, e, h, sc.jblocks)
+		fem.UnzipMat(2, s.asmCH.Ref.NPE, sc.jblocks, ke)
+	}
 }
 
 // addMatVec computes fe[a*ndof+dof] += scale * (A * v)_a with A npe x npe.
@@ -190,11 +227,8 @@ func addMatVec(fe []float64, dof, ndof int, a, v []float64, scale float64, tmp [
 //	J(μ,φ) = -M_{ψ''} - Cn²K  J(μ,μ) = M
 func (p *chProblem) Jacobian(x []float64) (la.Operator, la.PC) {
 	s := p.s
-	defer timed(&s.T.CH.Matrix)()
-	m := s.M
-	m.GhostRead(x, 2)
-	r := s.asmCH.Ref
-	npe := r.NPE
+	t0 := time.Now()
+	s.M.GhostRead(x, 2)
 	// Persistent operator: allocated once per mesh, Zero()+reassembled on
 	// every Newton iteration and time step thereafter (warm plan path).
 	if s.chMat == nil {
@@ -203,39 +237,23 @@ func (p *chProblem) Jacobian(x []float64) (la.Operator, la.PC) {
 		s.chMat.Zero()
 	}
 	mat := s.chMat
-	fill := func(w, e int, h float64, blocks [][]float64) {
-		sc := &s.chScr[w]
-		m.GatherElem(e, x, 2, sc.pm)
-		m.GatherElem(e, s.Vel, m.Dim, sc.vel)
-		p.buildOps(e, h, sc.pm, sc.vel, sc.ops, s.asmCH.WorkN(w))
-		ops := sc.ops
-		cn := s.ElemCn[e]
-		diff := 1 / (s.Par.Pe * cn)
-		th := p.theta
-		n2 := npe * npe
-		for i := 0; i < n2; i++ {
-			blocks[0][i] = ops.Me[i]/p.dt + th*ops.Ce[i]
-			blocks[1][i] = th * diff * ops.Kme[i]
-			blocks[2][i] = -ops.Mpp[i] - cn*cn*ops.Ke[i]
-			blocks[3][i] = ops.Me[i]
-		}
-	}
+	s.kCHx = x
 	if s.Opt.Layout == fem.LayoutZipped {
-		s.asmCH.AssembleMatrixZipped(mat, fill)
+		s.asmCH.AssembleMatrixZipped(mat, s.kCHJacZip)
 	} else {
-		s.asmCH.AssembleMatrix(mat, s.Opt.Layout, func(w, e int, h float64, ke []float64) {
-			sc := &s.chScr[w]
-			fill(w, e, h, sc.jblocks)
-			fem.UnzipMat(2, npe, sc.jblocks, ke)
-		})
+		s.asmCH.AssembleMatrix(mat, s.Opt.Layout, s.kCHJac)
 	}
+	s.T.CH.Matrix += time.Since(t0)
 	// The preconditioner persists with the operator: refactored in place
-	// from the re-assembled values on every Newton iteration.
+	// from the re-assembled values on every Newton iteration. Setup is
+	// tracked apart from the Krylov solve time.
+	tPC := time.Now()
 	if s.chPC == nil {
 		s.chPC = la.NewPCBJacobiILU0(mat)
 	} else {
 		s.chPC.Refresh()
 	}
+	s.T.CH.PCSetup += time.Since(tPC)
 	return mat, s.chPC
 }
 
@@ -271,7 +289,9 @@ func (s *Solver) StepCH(velOverride []float64) (StageReport, error) {
 	rep := StageReport{Stage: StageCH, Result: nw.Last,
 		NewtonIterations: nw.Iterations, NewtonConverged: ok}
 	st := &s.T.CH
-	st.Iterations += nw.LinearIterations
+	// One record per step: the Newton driver aggregates its inner Krylov
+	// iterations, so min/mean/max track per-step linear work.
+	st.Record(nw.LinearIterations)
 	if err != nil {
 		st.Total += time.Since(t0)
 		return rep, err

@@ -82,14 +82,9 @@ func (s *Solver) StepNS() (StageReport, error) {
 	t0 := time.Now()
 	m := s.M
 	dim := m.Dim
-	r := s.asmVel.Ref
-	npe := r.NPE
 	m.GhostRead(s.PhiMu, 2)
 	m.GhostRead(s.Vel, dim)
 	m.GhostRead(s.P, 1)
-
-	th := s.Opt.Theta
-	dt := s.Opt.Dt
 
 	// Matrix: same scalar operator on each velocity component (the
 	// viscous cross-coupling is lumped into the component Laplacian).
@@ -102,69 +97,10 @@ func (s *Solver) StepNS() (StageReport, error) {
 		s.nsMat.Zero()
 	}
 	mat := s.nsMat
-	buildScalar := func(w, e int, h float64) *nsScratch {
-		sc := &s.nsScr[w]
-		m.GatherElem(e, s.PhiMu, 2, sc.pm)
-		m.GatherElem(e, s.Vel, dim, sc.velC)
-		for a := 0; a < npe; a++ {
-			sc.phiC[a] = sc.pm[a*2]
-			sc.rho[a] = s.Par.Density(sc.phiC[a])
-			sc.eta[a] = s.Par.Viscosity(sc.phiC[a])
-		}
-		for i := range sc.scalarOp {
-			sc.scalarOp[i] = 0
-		}
-		if s.Opt.Layout == fem.LayoutZipped {
-			wk := s.asmVel.WorkN(w)
-			r.CoefAtGauss(sc.rho, sc.rhoG)
-			r.CoefAtGauss(sc.eta, sc.etaG)
-			r.MassGemm(wk, h, 1/dt, sc.rhoG, sc.scalarOp)
-			r.StiffGemm(wk, h, th/s.Par.Re, sc.etaG, sc.tmp)
-			for i := range sc.tmp {
-				sc.scalarOp[i] += sc.tmp[i]
-			}
-			// ρ-weighted convection: fold ρ into the velocity samples.
-			for a := 0; a < npe; a++ {
-				for d := 0; d < dim; d++ {
-					sc.rvel[a*dim+d] = sc.rho[a] * sc.velC[a*dim+d]
-				}
-			}
-			r.ConvGemm(wk, h, th, sc.rvel, sc.tmp)
-			for i := range sc.tmp {
-				sc.scalarOp[i] += sc.tmp[i]
-			}
-			return sc
-		}
-		r.WeightedMass(h, sc.rho, 1/dt, sc.scalarOp)
-		r.WeightedStiffness(h, sc.eta, th/s.Par.Re, sc.scalarOp)
-		for a := 0; a < npe; a++ {
-			for d := 0; d < dim; d++ {
-				sc.rvel[a*dim+d] = sc.rho[a] * sc.velC[a*dim+d]
-			}
-		}
-		r.Convection(h, sc.rvel, th, sc.scalarOp)
-		return sc
-	}
 	if s.Opt.Layout == fem.LayoutZipped {
-		s.asmVel.AssembleMatrixZipped(mat, func(w, e int, h float64, blocks [][]float64) {
-			sc := buildScalar(w, e, h)
-			for d := 0; d < dim; d++ {
-				copy(blocks[d*dim+d], sc.scalarOp)
-			}
-		})
+		s.asmVel.AssembleMatrixZipped(mat, s.kNSMatZip)
 	} else {
-		s.asmVel.AssembleMatrix(mat, s.Opt.Layout, func(w, e int, h float64, ke []float64) {
-			sc := buildScalar(w, e, h)
-			n := npe * dim
-			for a := 0; a < npe; a++ {
-				for b := 0; b < npe; b++ {
-					v := sc.scalarOp[a*npe+b]
-					for d := 0; d < dim; d++ {
-						ke[(a*dim+d)*n+b*dim+d] = v
-					}
-				}
-			}
-		})
+		s.asmVel.AssembleMatrix(mat, s.Opt.Layout, s.kNSMat)
 	}
 	s.T.NS.Matrix += time.Since(tMat)
 
@@ -174,7 +110,143 @@ func (s *Solver) StepNS() (StageReport, error) {
 		s.nsRHS = m.NewVec(dim)
 	}
 	rhs := s.nsRHS
-	s.asmVel.AssembleVectorPlanned(rhs, func(w, e int, h float64, fe []float64) {
+	s.asmVel.AssembleVectorPlanned(rhs, s.kNSVec)
+	s.T.NS.Vector += time.Since(tVec)
+
+	// No-slip walls.
+	for i := 0; i < m.NumOwned; i++ {
+		if m.OnBoundary(i) {
+			for d := 0; d < dim; d++ {
+				mat.ZeroRow(i*dim+d, 1)
+				rhs[i*dim+d] = 0
+			}
+		}
+	}
+	// Persistent KSP + PC: the Krylov workspace is allocated on the first
+	// step and reused (resized in place across a Rebind); the PC (ILU(0)
+	// refactorization or the multigrid coefficient/operator refresh, per
+	// Opt.PCNS) re-keys in place from the new values while the mesh is
+	// unchanged and is rebuilt with the operator after a remesh. PC setup
+	// is timed apart from the Krylov iteration so preconditioner
+	// comparisons aren't skewed by setup cost.
+	tPC := time.Now()
+	if s.nsPC == nil {
+		s.nsPC = s.newNSPC(mat)
+	} else {
+		refreshStagePC(s.nsPC, mat)
+	}
+	pcSetup := time.Since(tPC)
+	s.T.NS.PCSetup += pcSetup
+	if s.nsKSP == nil {
+		s.nsKSP = &la.KSP{Type: la.BiCGS, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
+	}
+	s.nsKSP.AddPCSetup(pcSetup)
+	s.nsKSP.Op, s.nsKSP.PC, s.nsKSP.Red, s.nsKSP.Pool = mat, s.nsPC, m, s.pool
+	tSolve := time.Now()
+	res, err := s.nsKSP.Solve(rhs, s.Vel)
+	s.T.NS.Solve += time.Since(tSolve)
+	s.T.NS.Record(res.Iterations)
+	m.GhostRead(s.Vel, dim)
+	rep := StageReport{Stage: StageNS, Result: res}
+	if err != nil {
+		s.T.NS.Total += time.Since(t0)
+		return rep, err
+	}
+	if s.Fault.Fire(fault.KSPDiverge, string(StageNS)) {
+		rep.Result.Converged = false
+	}
+	if !rep.Result.Converged {
+		s.T.NS.Total += time.Since(t0)
+		return rep, &ErrDiverged{Stage: StageNS, Kind: DivergeKSP, Result: rep.Result}
+	}
+	s.pokeNaN(StageNS, s.Vel)
+	err = s.checkFinite(StageNS, s.scanBad(s.Vel, dim*m.NumOwned), rep.Result)
+	s.T.NS.Total += time.Since(t0)
+	return rep, err
+}
+
+// nsBuildScalar fills worker w's scalar momentum operator block for
+// element e from the current φ/μ and velocity (the shared core of the NS
+// matrix kernels).
+func (s *Solver) nsBuildScalar(w, e int, h float64) *nsScratch {
+	m := s.M
+	dim := m.Dim
+	r := s.asmVel.Ref
+	npe := r.NPE
+	th, dt := s.Opt.Theta, s.Opt.Dt
+	sc := &s.nsScr[w]
+	m.GatherElem(e, s.PhiMu, 2, sc.pm)
+	m.GatherElem(e, s.Vel, dim, sc.velC)
+	for a := 0; a < npe; a++ {
+		sc.phiC[a] = sc.pm[a*2]
+		sc.rho[a] = s.Par.Density(sc.phiC[a])
+		sc.eta[a] = s.Par.Viscosity(sc.phiC[a])
+	}
+	for i := range sc.scalarOp {
+		sc.scalarOp[i] = 0
+	}
+	if s.Opt.Layout == fem.LayoutZipped {
+		wk := s.asmVel.WorkN(w)
+		r.CoefAtGauss(sc.rho, sc.rhoG)
+		r.CoefAtGauss(sc.eta, sc.etaG)
+		r.MassGemm(wk, h, 1/dt, sc.rhoG, sc.scalarOp)
+		r.StiffGemm(wk, h, th/s.Par.Re, sc.etaG, sc.tmp)
+		for i := range sc.tmp {
+			sc.scalarOp[i] += sc.tmp[i]
+		}
+		// ρ-weighted convection: fold ρ into the velocity samples.
+		for a := 0; a < npe; a++ {
+			for d := 0; d < dim; d++ {
+				sc.rvel[a*dim+d] = sc.rho[a] * sc.velC[a*dim+d]
+			}
+		}
+		r.ConvGemm(wk, h, th, sc.rvel, sc.tmp)
+		for i := range sc.tmp {
+			sc.scalarOp[i] += sc.tmp[i]
+		}
+		return sc
+	}
+	r.WeightedMass(h, sc.rho, 1/dt, sc.scalarOp)
+	r.WeightedStiffness(h, sc.eta, th/s.Par.Re, sc.scalarOp)
+	for a := 0; a < npe; a++ {
+		for d := 0; d < dim; d++ {
+			sc.rvel[a*dim+d] = sc.rho[a] * sc.velC[a*dim+d]
+		}
+	}
+	r.Convection(h, sc.rvel, th, sc.scalarOp)
+	return sc
+}
+
+// initNSKernels builds the NS matrix and RHS element kernels once,
+// capturing only the Solver (see initCHKernels).
+func (s *Solver) initNSKernels() {
+	s.kNSMatZip = func(w, e int, h float64, blocks [][]float64) {
+		sc := s.nsBuildScalar(w, e, h)
+		dim := s.M.Dim
+		for d := 0; d < dim; d++ {
+			copy(blocks[d*dim+d], sc.scalarOp)
+		}
+	}
+	s.kNSMat = func(w, e int, h float64, ke []float64) {
+		sc := s.nsBuildScalar(w, e, h)
+		dim := s.M.Dim
+		npe := s.asmVel.Ref.NPE
+		n := npe * dim
+		for a := 0; a < npe; a++ {
+			for b := 0; b < npe; b++ {
+				v := sc.scalarOp[a*npe+b]
+				for d := 0; d < dim; d++ {
+					ke[(a*dim+d)*n+b*dim+d] = v
+				}
+			}
+		}
+	}
+	s.kNSVec = func(w, e int, h float64, fe []float64) {
+		m := s.M
+		dim := m.Dim
+		r := s.asmVel.Ref
+		npe := r.NPE
+		th, dt := s.Opt.Theta, s.Opt.Dt
 		sc := &s.nsVec[w]
 		m.GatherElem(e, s.PhiMu, 2, sc.pm)
 		m.GatherElem(e, s.Vel, dim, sc.velC)
@@ -263,50 +335,5 @@ func (s *Solver) StepNS() (StageReport, error) {
 				}
 			}
 		}
-	})
-	s.T.NS.Vector += time.Since(tVec)
-
-	// No-slip walls.
-	for i := 0; i < m.NumOwned; i++ {
-		if m.OnBoundary(i) {
-			for d := 0; d < dim; d++ {
-				mat.ZeroRow(i*dim+d, 1)
-				rhs[i*dim+d] = 0
-			}
-		}
 	}
-	tSolve := time.Now()
-	// Persistent KSP + PC: the Krylov workspace is allocated on the first
-	// step and reused (resized in place across a Rebind); the ILU(0)
-	// refactors in place from the new values while the mesh is unchanged
-	// and is rebuilt with the operator after a remesh.
-	if s.nsPC == nil {
-		s.nsPC = la.NewPCBJacobiILU0(mat)
-	} else {
-		s.nsPC.Refresh()
-	}
-	if s.nsKSP == nil {
-		s.nsKSP = &la.KSP{Type: la.BiCGS, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
-	}
-	s.nsKSP.Op, s.nsKSP.PC, s.nsKSP.Red, s.nsKSP.Pool = mat, s.nsPC, m, s.pool
-	res, err := s.nsKSP.Solve(rhs, s.Vel)
-	s.T.NS.Solve += time.Since(tSolve)
-	s.T.NS.Iterations += res.Iterations
-	m.GhostRead(s.Vel, dim)
-	rep := StageReport{Stage: StageNS, Result: res}
-	if err != nil {
-		s.T.NS.Total += time.Since(t0)
-		return rep, err
-	}
-	if s.Fault.Fire(fault.KSPDiverge, string(StageNS)) {
-		rep.Result.Converged = false
-	}
-	if !rep.Result.Converged {
-		s.T.NS.Total += time.Since(t0)
-		return rep, &ErrDiverged{Stage: StageNS, Kind: DivergeKSP, Result: rep.Result}
-	}
-	s.pokeNaN(StageNS, s.Vel)
-	err = s.checkFinite(StageNS, s.scanBad(s.Vel, dim*m.NumOwned), rep.Result)
-	s.T.NS.Total += time.Since(t0)
-	return rep, err
 }

@@ -1,0 +1,181 @@
+package chns
+
+import (
+	"proteus/internal/fem"
+	"proteus/internal/la"
+	"proteus/internal/mg"
+)
+
+// This file wires the per-stage preconditioner choice (Options.PCNS /
+// Options.PCPP, Table II column "pc"): the pointwise/ILU(0) PCs from la,
+// and the octree geometric multigrid V-cycle from internal/mg. The MG
+// mesh hierarchy is built once per mesh epoch and shared by both stages;
+// each stage owns its own PCGMG (its own coarse operators and smoothers)
+// over that shared ladder.
+
+// ensureHierarchy returns the solver's MG mesh ladder, building it from
+// the current mesh on first use in an epoch. Collective.
+func (s *Solver) ensureHierarchy() *mg.Hierarchy {
+	if s.mgH == nil {
+		s.mgH = mg.NewHierarchy(s.M, mg.HierarchyOptions{})
+	}
+	return s.mgH
+}
+
+// newNSPC builds the NS-stage preconditioner for the assembled momentum
+// operator, ready to apply (GMG arrives refreshed).
+func (s *Solver) newNSPC(mat *la.BSRMat) la.PC {
+	switch s.Opt.PCNS {
+	case PCJacobi:
+		return la.NewPCJacobi(mat)
+	case PCGMG:
+		dim := s.M.Dim
+		g := mg.NewPCGMG(s.ensureHierarchy(), s.pool, mg.Config{
+			Ndof: dim,
+			Coefs: []mg.Coefficient{
+				{Vec: s.PhiMu, Ndof: 2},
+				{Vec: s.Vel, Ndof: dim},
+			},
+			Assemble:          s.assembleNSLevel,
+			BoundaryDirichlet: true,
+		})
+		g.SetFineOperator(mat)
+		g.Refresh()
+		return g
+	default:
+		return la.NewPCBJacobiILU0(mat)
+	}
+}
+
+// newPPPC builds the PP-stage preconditioner for the assembled
+// variable-density Poisson operator.
+func (s *Solver) newPPPC(mat *la.BSRMat) la.PC {
+	switch s.Opt.PCPP {
+	case PCJacobi:
+		return la.NewPCJacobi(mat)
+	case PCGMG:
+		g := mg.NewPCGMG(s.ensureHierarchy(), s.pool, mg.Config{
+			Ndof:     1,
+			Coefs:    []mg.Coefficient{{Vec: s.PhiMu, Ndof: 2}},
+			Assemble: s.assemblePPLevel,
+		})
+		g.SetFineOperator(mat)
+		g.Refresh()
+		return g
+	default:
+		return la.NewPCBJacobiILU0(mat)
+	}
+}
+
+// refreshStagePC re-keys an existing stage PC to the reassembled operator
+// values: multigrid re-injects coefficients and reassembles its coarse
+// ladder, the others refactor in place.
+func refreshStagePC(pc la.PC, mat *la.BSRMat) {
+	if g, ok := pc.(*mg.PCGMG); ok {
+		g.SetFineOperator(mat)
+		g.Refresh()
+		return
+	}
+	if r, ok := pc.(la.Refresher); ok {
+		r.Refresh()
+	}
+}
+
+// nsLevelScratch is one coarse level's NS assembly state: the kernel
+// scratch plus the element kernel itself, built once on the level's first
+// assembly so warm multigrid refreshes create no closures.
+type nsLevelScratch struct {
+	sc   nsScratch
+	kern func(w, e int, h float64, ke []float64)
+}
+
+// assembleNSLevel assembles the coarse-level momentum operator from the
+// injected φ/μ and velocity fields — the same scalar operator replicated
+// per component as the fine non-zipped NS kernel, with the no-slip rows
+// pinned to identity on each level. Runs serially per rank (the level
+// assembler is pinned to one worker).
+func (s *Solver) assembleNSLevel(lvl *mg.Level) {
+	m := lvl.M
+	dim := m.Dim
+	ls, ok := lvl.Scratch.(*nsLevelScratch)
+	if !ok {
+		r := lvl.Asm.Ref
+		npe := r.NPE
+		ls = &nsLevelScratch{sc: newNSScratch(npe, r.NG, dim)}
+		sc := &ls.sc
+		phiMu, vel := lvl.Coef[0], lvl.Coef[1]
+		ls.kern = func(w, e int, h float64, ke []float64) {
+			th, dt := s.Opt.Theta, s.Opt.Dt
+			m.GatherElem(e, phiMu, 2, sc.pm)
+			m.GatherElem(e, vel, dim, sc.velC)
+			for a := 0; a < npe; a++ {
+				sc.phiC[a] = sc.pm[a*2]
+				sc.rho[a] = s.Par.Density(sc.phiC[a])
+				sc.eta[a] = s.Par.Viscosity(sc.phiC[a])
+			}
+			for i := range sc.scalarOp {
+				sc.scalarOp[i] = 0
+			}
+			r.WeightedMass(h, sc.rho, 1/dt, sc.scalarOp)
+			r.WeightedStiffness(h, sc.eta, th/s.Par.Re, sc.scalarOp)
+			for a := 0; a < npe; a++ {
+				for d := 0; d < dim; d++ {
+					sc.rvel[a*dim+d] = sc.rho[a] * sc.velC[a*dim+d]
+				}
+			}
+			r.Convection(h, sc.rvel, th, sc.scalarOp)
+			n := npe * dim
+			for a := 0; a < npe; a++ {
+				for b := 0; b < npe; b++ {
+					v := sc.scalarOp[a*npe+b]
+					for d := 0; d < dim; d++ {
+						ke[(a*dim+d)*n+b*dim+d] = v
+					}
+				}
+			}
+		}
+		lvl.Scratch = ls
+	}
+	lvl.Asm.AssembleMatrix(lvl.Mat, fem.LayoutAIJ, ls.kern)
+	for i := 0; i < m.NumOwned; i++ {
+		if m.OnBoundary(i) {
+			for d := 0; d < dim; d++ {
+				lvl.Mat.ZeroRow(i*dim+d, 1)
+			}
+		}
+	}
+}
+
+// ppLevelScratch is one coarse level's PP assembly state (see
+// nsLevelScratch).
+type ppLevelScratch struct {
+	sc   ppScratch
+	kern func(w, e int, h float64, ke []float64)
+}
+
+// assemblePPLevel assembles the coarse-level variable-density Poisson
+// operator K_{1/ρ} from the injected φ, pinning each level's first global
+// unknown exactly as the fine stage pins the pressure nullspace.
+func (s *Solver) assemblePPLevel(lvl *mg.Level) {
+	m := lvl.M
+	ls, ok := lvl.Scratch.(*ppLevelScratch)
+	if !ok {
+		r := lvl.Asm.Ref
+		npe := r.NPE
+		ls = &ppLevelScratch{sc: newPPScratch(npe, r.NG, m.Dim)}
+		sc := &ls.sc
+		phiMu := lvl.Coef[0]
+		ls.kern = func(w, e int, h float64, ke []float64) {
+			m.GatherElem(e, phiMu, 2, sc.pm)
+			for a := 0; a < npe; a++ {
+				sc.invRho[a] = 1 / s.Par.Density(sc.pm[a*2])
+			}
+			r.WeightedStiffness(h, sc.invRho, 1, ke)
+		}
+		lvl.Scratch = ls
+	}
+	lvl.Asm.AssembleMatrix(lvl.Mat, fem.LayoutAIJ, ls.kern)
+	if m.GlobalStart == 0 && m.NumOwned > 0 {
+		lvl.Mat.ZeroRow(0, 1)
+	}
+}

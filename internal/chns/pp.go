@@ -47,8 +47,6 @@ func (s *Solver) StepPP() ([]float64, StageReport, error) {
 	t0 := time.Now()
 	m := s.M
 	dim := m.Dim
-	r := s.asmS.Ref
-	npe := r.NPE
 	m.GhostRead(s.PhiMu, 2)
 	m.GhostRead(s.Vel, dim)
 
@@ -61,25 +59,10 @@ func (s *Solver) StepPP() ([]float64, StageReport, error) {
 		s.ppMat.Zero()
 	}
 	mat := s.ppMat
-	buildCoef := func(w, e int) *ppScratch {
-		sc := &s.ppScr[w]
-		m.GatherElem(e, s.PhiMu, 2, sc.pm)
-		for a := 0; a < npe; a++ {
-			sc.invRho[a] = 1 / s.Par.Density(sc.pm[a*2])
-		}
-		return sc
-	}
 	if s.Opt.Layout == fem.LayoutZipped {
-		s.asmS.AssembleMatrixZipped(mat, func(w, e int, h float64, blocks [][]float64) {
-			sc := buildCoef(w, e)
-			r.CoefAtGauss(sc.invRho, sc.cg)
-			r.StiffGemm(s.asmS.WorkN(w), h, 1, sc.cg, blocks[0])
-		})
+		s.asmS.AssembleMatrixZipped(mat, s.kPPMatZip)
 	} else {
-		s.asmS.AssembleMatrix(mat, s.Opt.Layout, func(w, e int, h float64, ke []float64) {
-			sc := buildCoef(w, e)
-			r.WeightedStiffness(h, sc.invRho, 1, ke)
-		})
+		s.asmS.AssembleMatrix(mat, s.Opt.Layout, s.kPPMat)
 	}
 	s.T.PP.Matrix += time.Since(tMat)
 
@@ -88,7 +71,91 @@ func (s *Solver) StepPP() ([]float64, StageReport, error) {
 		s.ppRHS = m.NewVec(1)
 	}
 	rhs := s.ppRHS
-	s.asmS.AssembleVectorPlanned(rhs, func(w, e int, h float64, fe []float64) {
+	s.asmS.AssembleVectorPlanned(rhs, s.kPPVec)
+	s.T.PP.Vector += time.Since(tVec)
+
+	// Pin the global first pressure unknown to fix the Neumann nullspace.
+	if m.GlobalStart == 0 && m.NumOwned > 0 {
+		mat.ZeroRow(0, 1)
+		rhs[0] = 0
+	}
+	if s.ppPsi == nil {
+		s.ppPsi = m.NewVec(1)
+	}
+	psi := s.ppPsi
+	for i := range psi {
+		psi[i] = 0
+	}
+	// Persistent KSP + PC: workspace reused (resized in place across a
+	// Rebind); the PC choice (Opt.PCPP) re-keys in place while the mesh is
+	// unchanged, with setup timed apart from the Krylov iteration.
+	tPC := time.Now()
+	if s.ppPC == nil {
+		s.ppPC = s.newPPPC(mat)
+	} else {
+		refreshStagePC(s.ppPC, mat)
+	}
+	pcSetup := time.Since(tPC)
+	s.T.PP.PCSetup += pcSetup
+	if s.ppKSP == nil {
+		s.ppKSP = &la.KSP{Type: la.IBiCGS, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
+	}
+	s.ppKSP.AddPCSetup(pcSetup)
+	s.ppKSP.Op, s.ppKSP.PC, s.ppKSP.Red, s.ppKSP.Pool = mat, s.ppPC, m, s.pool
+	tSolve := time.Now()
+	res, err := s.ppKSP.Solve(rhs, psi)
+	s.T.PP.Solve += time.Since(tSolve)
+	s.T.PP.Record(res.Iterations)
+	m.GhostRead(psi, 1)
+	rep := StageReport{Stage: StagePP, Result: res}
+	if err != nil {
+		s.T.PP.Total += time.Since(t0)
+		return psi, rep, err
+	}
+	if s.Fault.Fire(fault.KSPDiverge, string(StagePP)) {
+		rep.Result.Converged = false
+	}
+	if !rep.Result.Converged {
+		s.T.PP.Total += time.Since(t0)
+		return psi, rep, &ErrDiverged{Stage: StagePP, Kind: DivergeKSP, Result: rep.Result}
+	}
+	s.pokeNaN(StagePP, psi)
+	err = s.checkFinite(StagePP, s.scanBad(psi, m.NumOwned), rep.Result)
+	s.T.PP.Total += time.Since(t0)
+	return psi, rep, err
+}
+
+// ppBuildCoef gathers worker w's nodal 1/ρ(φ) coefficients for element e
+// (the shared core of the PP matrix kernels).
+func (s *Solver) ppBuildCoef(w, e int) *ppScratch {
+	m := s.M
+	npe := s.asmS.Ref.NPE
+	sc := &s.ppScr[w]
+	m.GatherElem(e, s.PhiMu, 2, sc.pm)
+	for a := 0; a < npe; a++ {
+		sc.invRho[a] = 1 / s.Par.Density(sc.pm[a*2])
+	}
+	return sc
+}
+
+// initPPKernels builds the PP matrix and RHS element kernels once,
+// capturing only the Solver (see initCHKernels).
+func (s *Solver) initPPKernels() {
+	s.kPPMatZip = func(w, e int, h float64, blocks [][]float64) {
+		r := s.asmS.Ref
+		sc := s.ppBuildCoef(w, e)
+		r.CoefAtGauss(sc.invRho, sc.cg)
+		r.StiffGemm(s.asmS.WorkN(w), h, 1, sc.cg, blocks[0])
+	}
+	s.kPPMat = func(w, e int, h float64, ke []float64) {
+		sc := s.ppBuildCoef(w, e)
+		s.asmS.Ref.WeightedStiffness(h, sc.invRho, 1, ke)
+	}
+	s.kPPVec = func(w, e int, h float64, fe []float64) {
+		m := s.M
+		dim := m.Dim
+		r := s.asmS.Ref
+		npe := r.NPE
 		sc := &s.ppScr[w]
 		m.GatherElem(e, s.Vel, dim, sc.velC)
 		vol := 1.0
@@ -109,51 +176,5 @@ func (s *Solver) StepPP() ([]float64, StageReport, error) {
 				fe[a] += wg * f * r.N[g*npe+a]
 			}
 		}
-	})
-	s.T.PP.Vector += time.Since(tVec)
-
-	// Pin the global first pressure unknown to fix the Neumann nullspace.
-	if m.GlobalStart == 0 && m.NumOwned > 0 {
-		mat.ZeroRow(0, 1)
-		rhs[0] = 0
 	}
-	if s.ppPsi == nil {
-		s.ppPsi = m.NewVec(1)
-	}
-	psi := s.ppPsi
-	for i := range psi {
-		psi[i] = 0
-	}
-	tSolve := time.Now()
-	// Persistent KSP + PC: workspace reused (resized in place across a
-	// Rebind), ILU(0) refactored in place while the mesh is unchanged.
-	if s.ppPC == nil {
-		s.ppPC = la.NewPCBJacobiILU0(mat)
-	} else {
-		s.ppPC.Refresh()
-	}
-	if s.ppKSP == nil {
-		s.ppKSP = &la.KSP{Type: la.IBiCGS, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
-	}
-	s.ppKSP.Op, s.ppKSP.PC, s.ppKSP.Red, s.ppKSP.Pool = mat, s.ppPC, m, s.pool
-	res, err := s.ppKSP.Solve(rhs, psi)
-	s.T.PP.Solve += time.Since(tSolve)
-	s.T.PP.Iterations += res.Iterations
-	m.GhostRead(psi, 1)
-	rep := StageReport{Stage: StagePP, Result: res}
-	if err != nil {
-		s.T.PP.Total += time.Since(t0)
-		return psi, rep, err
-	}
-	if s.Fault.Fire(fault.KSPDiverge, string(StagePP)) {
-		rep.Result.Converged = false
-	}
-	if !rep.Result.Converged {
-		s.T.PP.Total += time.Since(t0)
-		return psi, rep, &ErrDiverged{Stage: StagePP, Kind: DivergeKSP, Result: rep.Result}
-	}
-	s.pokeNaN(StagePP, psi)
-	err = s.checkFinite(StagePP, s.scanBad(psi, m.NumOwned), rep.Result)
-	s.T.PP.Total += time.Since(t0)
-	return psi, rep, err
 }

@@ -7,13 +7,37 @@ import (
 	"proteus/internal/fem"
 	"proteus/internal/la"
 	"proteus/internal/mesh"
+	"proteus/internal/mg"
 	"proteus/internal/par"
 )
 
 // StageTimes records per-stage wall-clock split into the Table I columns.
 type StageTimes struct {
 	Matrix, Vector, Solve, Total time.Duration
-	Iterations                   int
+	// PCSetup is the preconditioner build/refresh share, kept out of Solve
+	// so PC comparisons are not skewed by setup cost (ILU refactorization,
+	// multigrid coefficient injection and coarse reassembly).
+	PCSetup    time.Duration
+	Iterations int
+	// Solves counts the linear solves behind Iterations; ItMin/ItMax hold
+	// the per-solve extremes, so min/mean/max iteration counts per stage
+	// are reportable from accumulated timers alone.
+	Solves int
+	ItMin  int
+	ItMax  int
+}
+
+// Record accumulates one linear solve's iteration count into the
+// min/mean/max tracking.
+func (t *StageTimes) Record(its int) {
+	if t.Solves == 0 || its < t.ItMin {
+		t.ItMin = its
+	}
+	if t.Solves == 0 || its > t.ItMax {
+		t.ItMax = its
+	}
+	t.Iterations += its
+	t.Solves++
 }
 
 // Timers accumulates stage timings across steps (Fig. 7 / Table I).
@@ -30,7 +54,17 @@ func (t *StageTimes) Add(o StageTimes) {
 	t.Vector += o.Vector
 	t.Solve += o.Solve
 	t.Total += o.Total
+	t.PCSetup += o.PCSetup
 	t.Iterations += o.Iterations
+	if o.Solves > 0 {
+		if t.Solves == 0 || o.ItMin < t.ItMin {
+			t.ItMin = o.ItMin
+		}
+		if t.Solves == 0 || o.ItMax > t.ItMax {
+			t.ItMax = o.ItMax
+		}
+		t.Solves += o.Solves
+	}
 }
 
 // RemeshTimes splits the remesh wall-clock into pipeline stages: feature
@@ -83,6 +117,30 @@ type Options struct {
 	// vector plan gathers contributions in canonical order — so this is
 	// purely a performance knob.
 	VecWorkers int
+	// PCNS / PCPP select the NS / PP preconditioner (Table II column):
+	// "bjacobi" (default, rank-block ILU(0)), "jacobi", or "gmg" — the
+	// octree geometric multigrid V-cycle of internal/mg, whose mesh
+	// hierarchy is shared between the stages and rebuilt on remesh.
+	PCNS string
+	PCPP string
+}
+
+// Stage preconditioner names accepted by Options.PCNS/PCPP and the -pc
+// CLI flag.
+const (
+	PCBJacobi = "bjacobi"
+	PCJacobi  = "jacobi"
+	PCGMG     = "gmg"
+)
+
+// ValidPC reports whether name selects a known stage preconditioner (the
+// empty string is the bjacobi default).
+func ValidPC(name string) bool {
+	switch name {
+	case "", PCBJacobi, PCJacobi, PCGMG:
+		return true
+	}
+	return false
 }
 
 // DefaultOptions mirrors the paper's production configuration (stage 2).
@@ -147,10 +205,10 @@ type Solver struct {
 	chMassKSP  *la.KSP
 	chMassPC   *la.PCJacobi
 	nsKSP      *la.KSP
-	nsPC       *la.PCBJacobiILU0
+	nsPC       la.PC
 	nsRHS      []float64
 	ppKSP      *la.KSP
-	ppPC       *la.PCBJacobiILU0
+	ppPC       la.PC
 	ppRHS      []float64
 	ppPsi      []float64
 	vuKSP      *la.KSP
@@ -160,6 +218,11 @@ type Solver struct {
 	vuBlockKSP *la.KSP
 	vuBlockPC  *la.PCJacobi
 	vuBlockRHS []float64
+
+	// mgH is the geometric multigrid mesh hierarchy shared by every
+	// GMG-preconditioned stage (built lazily on the first gmg stage of a
+	// mesh epoch, dropped with the other mesh-keyed state on remesh).
+	mgH *mg.Hierarchy
 
 	// Per-worker kernel scratch for the sharded element loops: matrix
 	// kernels and vector/residual kernels each keep one private copy per
@@ -186,6 +249,28 @@ type Solver struct {
 	finBad []uint64
 	finRun func(w int)
 	finRed [1]float64
+
+	// Hoisted per-step assembly kernels: each stage's element-loop
+	// closures are built once here (capturing only the Solver and reading
+	// the mesh, assembler and options through it at call time), so a warm
+	// step creates no closures at all — the whole-step zero-allocation
+	// discipline. Per-step inputs flow through the k* argument fields
+	// below, set immediately before the assembly call that reads them.
+	kCHRes      func(w, e int, h float64, fe []float64)
+	kCHJacZip   func(w, e int, h float64, blocks [][]float64)
+	kCHJac      func(w, e int, h float64, ke []float64)
+	kNSMatZip   func(w, e int, h float64, blocks [][]float64)
+	kNSMat      func(w, e int, h float64, ke []float64)
+	kNSVec      func(w, e int, h float64, fe []float64)
+	kPPMatZip   func(w, e int, h float64, blocks [][]float64)
+	kPPMat      func(w, e int, h float64, ke []float64)
+	kPPVec      func(w, e int, h float64, fe []float64)
+	kVUComp     func(w, e int, h float64, fe []float64)
+	kVUBlockMat func(w, e int, h float64, ke []float64)
+	kVUBlockVec func(w, e int, h float64, fe []float64)
+	kCHx        []float64 // Newton iterate (CH residual/Jacobian kernels)
+	kVUPsi      []float64 // pressure increment (VU RHS kernels)
+	kVUD        int       // velocity component (split-VU RHS kernel)
 
 	meshEpoch uint64
 }
@@ -216,6 +301,10 @@ func NewSolver(m *mesh.Mesh, prm Params, opt Options) *Solver {
 	}
 	s.initScratch()
 	s.initFiniteScan()
+	s.initCHKernels()
+	s.initNSKernels()
+	s.initPPKernels()
+	s.initVUKernels()
 	return s
 }
 
@@ -302,6 +391,9 @@ func (s *Solver) SetMeshEpoch(e uint64) {
 	s.ppKSP, s.ppPC, s.ppRHS, s.ppPsi = nil, nil, nil, nil
 	s.vuKSP, s.vuRHS, s.vuComp, s.vuNewVel = nil, nil, nil, nil
 	s.vuBlockKSP, s.vuBlockPC, s.vuBlockRHS = nil, nil, nil
+	// The multigrid ladder is keyed to the old forest: coarse meshes,
+	// transfers and operators must all rebuild from the new one.
+	s.mgH = nil
 }
 
 // MeshEpoch returns the solver's current mesh epoch.
@@ -343,6 +435,9 @@ func (s *Solver) Rebind(m *mesh.Mesh, epoch uint64) {
 	s.nsRHS = nil
 	s.ppRHS, s.ppPsi = nil, nil
 	s.vuRHS, s.vuComp, s.vuNewVel, s.vuBlockRHS = nil, nil, nil, nil
+	// Stale coarse operators must never survive a Rebind: the hierarchy
+	// is rebuilt from the new mesh on the next GMG-preconditioned stage.
+	s.mgH = nil
 }
 
 // SetPhi initializes φ from a point function and sets μ consistently to 0.
@@ -426,9 +521,4 @@ func (s *Solver) StepCHWithVelocity(f func(x, y, z float64) (vx, vy, vz float64)
 	s.SetVelocity(f)
 	rep.CH, err = s.StepCH(nil)
 	return rep, err
-}
-
-func timed(d *time.Duration) func() {
-	t0 := time.Now()
-	return func() { *d += time.Since(t0) }
 }

@@ -45,37 +45,13 @@ func (s *Solver) StepVU(psi []float64) (StageReport, error) {
 	m := s.M
 	dim := m.Dim
 	r := s.asmS.Ref
-	npe := r.NPE
 	m.GhostRead(psi, 1)
 	m.GhostRead(s.PhiMu, 2)
 	m.GhostRead(s.Vel, dim)
-
-	// Elemental RHS for component d: ∫ N (v*_d - dt (1/ρ) ψ_,d), with
-	// worker w's private scratch.
-	emitComp := func(w, e int, h float64, d int, fe []float64, stride, off int) {
-		sc := &s.vuVec[w]
-		m.GatherElem(e, s.PhiMu, 2, sc.pm)
-		m.GatherElem(e, s.Vel, dim, sc.velC)
-		m.GatherElem(e, psi, 1, sc.psiC)
-		vol := 1.0
-		for dd := 0; dd < dim; dd++ {
-			vol *= h
-		}
-		for a := 0; a < npe; a++ {
-			sc.comp[a] = sc.velC[a*dim+d]
-			sc.phiC[a] = sc.pm[a*2]
-		}
-		for g := 0; g < r.NG; g++ {
-			wg := r.W[g] * vol
-			vg := r.AtGauss(g, sc.comp)
-			dpsi := r.GradAtGauss(g, d, h, sc.psiC)
-			rhoG := s.Par.Density(r.AtGauss(g, sc.phiC))
-			f := vg - s.Opt.Dt*dpsi/rhoG
-			for a := 0; a < npe; a++ {
-				fe[a*stride+off] += wg * f * r.N[g*npe+a]
-			}
-		}
-	}
+	// The prebuilt RHS kernels read ψ through this field (cleared before
+	// returning so no stale reference pins the caller's buffer).
+	s.kVUPsi = psi
+	defer func() { s.kVUPsi = nil }()
 
 	if s.Opt.SplitVU {
 		// One scalar mass matrix, assembled once per mesh and reused for
@@ -115,9 +91,8 @@ func (s *Solver) StepVU(psi []float64) (StageReport, error) {
 		itSum := 0
 		for d := 0; d < dim; d++ {
 			tVec := time.Now()
-			s.asmS.AssembleVectorPlanned(rhs, func(w, e int, h float64, fe []float64) {
-				emitComp(w, e, h, d, fe, 1, 0)
-			})
+			s.kVUD = d
+			s.asmS.AssembleVectorPlanned(rhs, s.kVUComp)
 			for i := 0; i < m.NumOwned; i++ {
 				if m.OnBoundary(i) {
 					rhs[i] = 0
@@ -130,7 +105,7 @@ func (s *Solver) StepVU(psi []float64) (StageReport, error) {
 			}
 			res, err := s.vuKSP.Solve(rhs, comp)
 			s.T.VU.Solve += time.Since(tSolve)
-			s.T.VU.Iterations += res.Iterations
+			s.T.VU.Record(res.Iterations)
 			itSum += res.Iterations
 			rep.Result = res
 			rep.Result.Iterations = itSum
@@ -163,32 +138,14 @@ func (s *Solver) StepVU(psi []float64) (StageReport, error) {
 			s.vuBlockMat.Zero()
 		}
 		mat := s.vuBlockMat
-		s.asmVel.AssembleMatrix(mat, lay, func(w, e int, h float64, ke []float64) {
-			scalar := s.vuScr[w]
-			for i := range scalar {
-				scalar[i] = 0
-			}
-			r.Mass(h, 1, scalar)
-			n := npe * dim
-			for a := 0; a < npe; a++ {
-				for b := 0; b < npe; b++ {
-					for d := 0; d < dim; d++ {
-						ke[(a*dim+d)*n+b*dim+d] = scalar[a*npe+b]
-					}
-				}
-			}
-		})
+		s.asmVel.AssembleMatrix(mat, lay, s.kVUBlockMat)
 		s.T.VU.Matrix += time.Since(tMat)
 		tVec := time.Now()
 		if s.vuBlockRHS == nil {
 			s.vuBlockRHS = m.NewVec(dim)
 		}
 		rhs := s.vuBlockRHS
-		s.asmVel.AssembleVectorPlanned(rhs, func(w, e int, h float64, fe []float64) {
-			for d := 0; d < dim; d++ {
-				emitComp(w, e, h, d, fe, dim, d)
-			}
-		})
+		s.asmVel.AssembleVectorPlanned(rhs, s.kVUBlockVec)
 		s.T.VU.Vector += time.Since(tVec)
 		for i := 0; i < m.NumOwned; i++ {
 			if m.OnBoundary(i) {
@@ -198,21 +155,26 @@ func (s *Solver) StepVU(psi []float64) (StageReport, error) {
 				}
 			}
 		}
-		tSolve := time.Now()
 		// Persistent KSP + Jacobi PC refreshed from the new values (the PC
-		// is rebuilt with the operator after a remesh).
+		// is rebuilt with the operator after a remesh); setup timed apart
+		// from the Krylov iteration.
+		tPC := time.Now()
 		if s.vuBlockPC == nil {
 			s.vuBlockPC = la.NewPCJacobi(mat)
 		} else {
 			s.vuBlockPC.Refresh()
 		}
+		pcSetup := time.Since(tPC)
+		s.T.VU.PCSetup += pcSetup
 		if s.vuBlockKSP == nil {
 			s.vuBlockKSP = &la.KSP{Type: la.CG, Rtol: s.Opt.LinTol, Atol: s.Opt.LinTol}
 		}
+		s.vuBlockKSP.AddPCSetup(pcSetup)
 		s.vuBlockKSP.Op, s.vuBlockKSP.PC, s.vuBlockKSP.Red, s.vuBlockKSP.Pool = mat, s.vuBlockPC, m, s.pool
+		tSolve := time.Now()
 		res, err := s.vuBlockKSP.Solve(rhs, s.Vel)
 		s.T.VU.Solve += time.Since(tSolve)
-		s.T.VU.Iterations += res.Iterations
+		s.T.VU.Record(res.Iterations)
 		rep.Result = res
 		if err != nil {
 			s.T.VU.Total += time.Since(t0)
@@ -273,4 +235,69 @@ func (s *Solver) DivergenceL2() float64 {
 		}
 	}
 	return math.Sqrt(s.M.GlobalSum(acc))
+}
+
+// vuEmitComp accumulates the elemental RHS for velocity component d:
+// ∫ N (v*_d - dt (1/ρ) ψ_,d), with worker w's private scratch. ψ reaches
+// it through s.kVUPsi (set by StepVU for the assembly calls).
+func (s *Solver) vuEmitComp(w, e int, h float64, d int, fe []float64, stride, off int) {
+	m := s.M
+	dim := m.Dim
+	r := s.asmS.Ref
+	npe := r.NPE
+	sc := &s.vuVec[w]
+	m.GatherElem(e, s.PhiMu, 2, sc.pm)
+	m.GatherElem(e, s.Vel, dim, sc.velC)
+	m.GatherElem(e, s.kVUPsi, 1, sc.psiC)
+	vol := 1.0
+	for dd := 0; dd < dim; dd++ {
+		vol *= h
+	}
+	for a := 0; a < npe; a++ {
+		sc.comp[a] = sc.velC[a*dim+d]
+		sc.phiC[a] = sc.pm[a*2]
+	}
+	for g := 0; g < r.NG; g++ {
+		wg := r.W[g] * vol
+		vg := r.AtGauss(g, sc.comp)
+		dpsi := r.GradAtGauss(g, d, h, sc.psiC)
+		rhoG := s.Par.Density(r.AtGauss(g, sc.phiC))
+		f := vg - s.Opt.Dt*dpsi/rhoG
+		for a := 0; a < npe; a++ {
+			fe[a*stride+off] += wg * f * r.N[g*npe+a]
+		}
+	}
+}
+
+// initVUKernels builds the velocity-update element kernels once,
+// capturing only the Solver (see initCHKernels). The split-path
+// component kernel reads its component index from s.kVUD.
+func (s *Solver) initVUKernels() {
+	s.kVUComp = func(w, e int, h float64, fe []float64) {
+		s.vuEmitComp(w, e, h, s.kVUD, fe, 1, 0)
+	}
+	s.kVUBlockMat = func(w, e int, h float64, ke []float64) {
+		r := s.asmS.Ref
+		npe := r.NPE
+		dim := s.M.Dim
+		scalar := s.vuScr[w]
+		for i := range scalar {
+			scalar[i] = 0
+		}
+		r.Mass(h, 1, scalar)
+		n := npe * dim
+		for a := 0; a < npe; a++ {
+			for b := 0; b < npe; b++ {
+				for d := 0; d < dim; d++ {
+					ke[(a*dim+d)*n+b*dim+d] = scalar[a*npe+b]
+				}
+			}
+		}
+	}
+	s.kVUBlockVec = func(w, e int, h float64, fe []float64) {
+		dim := s.M.Dim
+		for d := 0; d < dim; d++ {
+			s.vuEmitComp(w, e, h, d, fe, dim, d)
+		}
+	}
 }

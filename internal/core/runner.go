@@ -261,11 +261,36 @@ type RunStats struct {
 	PartitionOnlyRounds int         `json:"partition_only_rounds"`
 	LevelHistogram      []float64   `json:"level_histogram"`
 	Timers              chns.Timers `json:"timers"`
+	// KrylovIters summarizes the per-stage linear-solver iteration counts
+	// (keys "ch", "ns", "pp", "vu"), making preconditioner comparisons —
+	// the GMG-vs-ILU0 iteration claim in particular — machine-checkable
+	// from the stats dump alone.
+	KrylovIters map[string]IterStats `json:"krylov_iters"`
 	// Recovery accounting (see RunUntil): rolled-back retries, checkpoint
 	// fallbacks, and the per-event history.
 	Retries       int             `json:"retries"`
 	CkptFallbacks int             `json:"ckpt_fallbacks"`
 	Recovery      []RecoveryEvent `json:"recovery,omitempty"`
+}
+
+// IterStats summarizes one stage's linear-solve iteration counts over a
+// run: per-solve min/mean/max and the totals behind them. CH counts one
+// "solve" per time step (the Newton driver aggregates its inner Krylov
+// iterations); VU counts each component solve.
+type IterStats struct {
+	Solves int     `json:"solves"`
+	Min    int     `json:"min"`
+	Mean   float64 `json:"mean"`
+	Max    int     `json:"max"`
+	Total  int     `json:"total"`
+}
+
+func iterStats(st chns.StageTimes) IterStats {
+	is := IterStats{Solves: st.Solves, Min: st.ItMin, Max: st.ItMax, Total: st.Iterations}
+	if st.Solves > 0 {
+		is.Mean = float64(st.Iterations) / float64(st.Solves)
+	}
+	return is
 }
 
 // Stats assembles the run summary. Collective (global reductions); every
@@ -285,9 +310,15 @@ func (s *Simulation) Stats() RunStats {
 		PartitionOnlyRounds: t.RemeshStages.PartitionOnly,
 		LevelHistogram:      s.LevelHistogram(),
 		Timers:              t,
-		Retries:             s.Retries,
-		CkptFallbacks:       s.CkptFallbacks,
-		Recovery:            s.Recovery,
+		KrylovIters: map[string]IterStats{
+			"ch": iterStats(t.CH),
+			"ns": iterStats(t.NS),
+			"pp": iterStats(t.PP),
+			"vu": iterStats(t.VU),
+		},
+		Retries:       s.Retries,
+		CkptFallbacks: s.CkptFallbacks,
+		Recovery:      s.Recovery,
 	}
 }
 

@@ -3,6 +3,7 @@ package la
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"proteus/internal/par"
 )
@@ -73,6 +74,9 @@ type KSP struct {
 	Pool *par.Pool
 
 	ws *kspWS
+	// pcSetup accumulates the preconditioner build/refresh cost reported
+	// through AddPCSetup since the last Solve.
+	pcSetup time.Duration
 }
 
 // Result reports a solve outcome.
@@ -80,7 +84,19 @@ type Result struct {
 	Iterations int
 	Converged  bool
 	Residual   float64
+	// SolveTime is the wall-clock of the Krylov iteration itself; PCSetup
+	// is the preconditioner build/refresh cost the caller reported via
+	// AddPCSetup before this Solve. Keeping them separate stops expensive
+	// setups (ILU factorization, multigrid hierarchy refresh) from
+	// inflating per-iteration timings in PC comparisons.
+	SolveTime time.Duration
+	PCSetup   time.Duration
 }
+
+// AddPCSetup records preconditioner setup/refresh wall-clock spent on
+// behalf of the next Solve; the accumulated total is returned in that
+// Solve's Result.PCSetup and then reset.
+func (k *KSP) AddPCSetup(d time.Duration) { k.pcSetup += d }
 
 func (k *KSP) defaults() {
 	if k.Rtol == 0 {
@@ -114,16 +130,22 @@ func (k *KSP) Solve(b, x []float64) (Result, error) {
 	}
 	k.defaults()
 	k.ensureWS()
+	t0 := time.Now()
+	var res Result
 	switch k.Type {
 	case CG:
-		return k.cg(b, x), nil
+		res = k.cg(b, x)
 	case BiCGS:
-		return k.bicgstab(b, x, false), nil
+		res = k.bicgstab(b, x, false)
 	case GMRES:
-		return k.gmres(b, x), nil
+		res = k.gmres(b, x)
 	default: // IBiCGS and the "" default
-		return k.bicgstab(b, x, true), nil
+		res = k.bicgstab(b, x, true)
 	}
+	res.SolveTime = time.Since(t0)
+	res.PCSetup = k.pcSetup
+	k.pcSetup = 0
+	return res, nil
 }
 
 // cg is preconditioned conjugate gradients for SPD operators.

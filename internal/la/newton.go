@@ -70,16 +70,6 @@ func (nw *Newton) Solve(p NewtonProblem, x []float64) (bool, error) {
 	nw.Iterations, nw.LinearIterations = 0, 0
 	nw.Last = Result{}
 
-	norm := func(v []float64, n int) float64 {
-		var s float64
-		for i := 0; i < n; i++ {
-			s += v[i] * v[i]
-		}
-		nw.red[0] = s
-		nw.Red.GlobalSumInto(nw.red[:])
-		return math.Sqrt(nw.red[0])
-	}
-
 	op, pc := p.Jacobian(x)
 	n := op.Rows()
 	full := op.FullLen()
@@ -94,7 +84,7 @@ func (nw *Newton) Solve(p NewtonProblem, x []float64) (bool, error) {
 	}
 	r, dx, xTrial, rhs := nw.r, nw.dx, nw.xTrial, nw.rhs
 	p.Residual(x, r)
-	r0 := norm(r, n)
+	r0 := nw.norm(r, n)
 	if r0 <= nw.Atol {
 		return true, nil
 	}
@@ -129,7 +119,7 @@ func (nw *Newton) Solve(p NewtonProblem, x []float64) (bool, error) {
 				xTrial[i] += lambda * dx[i]
 			}
 			p.Residual(xTrial, r)
-			rn := norm(r, n)
+			rn := nw.norm(r, n)
 			if rn < rprev || rn <= nw.Atol {
 				copy(x, xTrial)
 				rprev = rn
@@ -144,11 +134,23 @@ func (nw *Newton) Solve(p NewtonProblem, x []float64) (bool, error) {
 				x[i] += dx[i]
 			}
 			p.Residual(x, r)
-			rprev = norm(r, n)
+			rprev = nw.norm(r, n)
 		}
 		if rprev <= nw.Rtol*r0 || rprev <= nw.Atol {
 			return true, nil
 		}
 	}
 	return false, nil
+}
+
+// norm is the global 2-norm over the owned segment, a method (not a
+// per-Solve closure) so warm Solves stay allocation-free.
+func (nw *Newton) norm(v []float64, n int) float64 {
+	var s float64
+	for i := 0; i < n; i++ {
+		s += v[i] * v[i]
+	}
+	nw.red[0] = s
+	nw.Red.GlobalSumInto(nw.red[:])
+	return math.Sqrt(nw.red[0])
 }

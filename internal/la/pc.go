@@ -3,6 +3,11 @@ package la
 import "fmt"
 
 // PC is a preconditioner: z = M^{-1} r over the owned segment.
+//
+// Besides the pointwise/blockwise PCs in this file, internal/mg provides
+// PCGMG, a geometric multigrid V-cycle over the octree hierarchy that
+// plugs in through this same interface (it lives outside la because it
+// depends on the mesh and assembly layers).
 type PC interface {
 	Apply(r, z []float64)
 }

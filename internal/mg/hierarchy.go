@@ -1,0 +1,98 @@
+package mg
+
+import (
+	"proteus/internal/mesh"
+	"proteus/internal/octree"
+	"proteus/internal/par"
+	"proteus/internal/sfc"
+)
+
+// HierarchyOptions bounds the coarsening ladder.
+type HierarchyOptions struct {
+	// MaxLevels caps the total number of levels including the fine mesh
+	// (default 8).
+	MaxLevels int
+	// CoarseElems stops coarsening once the global element count is at or
+	// below this (default 16): the coarsest level is then cheap enough to
+	// solve by smoothing alone.
+	CoarseElems int64
+	// MinLevel is the coarsest octree level any leaf may reach (default 1).
+	MinLevel int
+}
+
+func (o *HierarchyOptions) defaults() {
+	if o.MaxLevels == 0 {
+		o.MaxLevels = 8
+	}
+	if o.CoarseElems == 0 {
+		o.CoarseElems = 16
+	}
+	if o.MinLevel == 0 {
+		o.MinLevel = 1
+	}
+}
+
+// Hierarchy is the geometric multigrid mesh ladder shared by every GMG
+// preconditioner on one fine mesh: level 0 is the fine mesh itself, each
+// deeper level coarsens every leaf one octree level (consensus
+// coarsening), re-balances 2:1 and repartitions, then rebuilds the
+// distributed CG mesh. The ladder is built once per mesh epoch and
+// invalidated with it.
+type Hierarchy struct {
+	// Meshes[0] is the fine mesh (owned by the caller); deeper entries are
+	// owned by the hierarchy.
+	Meshes []*mesh.Mesh
+	// Down[l] (l >= 1) evaluates level-(l-1) fields at level-l owned nodes:
+	// the coefficient-injection operator.
+	Down []*Transfer
+	// Up[l] (l >= 1) evaluates level-l fields at level-(l-1) owned nodes:
+	// prolongation; its Restrict is the matching residual restriction.
+	Up []*Transfer
+}
+
+// NewHierarchy builds the ladder under fine. Collective; the same option
+// values must be passed on every rank. The ladder always has at least the
+// fine level; it stops early when coarsening makes no global progress.
+func NewHierarchy(fine *mesh.Mesh, o HierarchyOptions) *Hierarchy {
+	o.defaults()
+	c := fine.Comm
+	dim := fine.Dim
+	h := &Hierarchy{
+		Meshes: []*mesh.Mesh{fine},
+		Down:   []*Transfer{nil},
+		Up:     []*Transfer{nil},
+	}
+	cur := fine
+	prev := globalElems(c, cur)
+	for len(h.Meshes) < o.MaxLevels && prev > o.CoarseElems {
+		leaves := append([]sfc.Octant(nil), cur.Elems...)
+		targets := make([]int, len(leaves))
+		for i, lf := range leaves {
+			t := int(lf.Level) - 1
+			if t < o.MinLevel {
+				t = o.MinLevel
+			}
+			targets[i] = t
+		}
+		coarse := octree.ParCoarsen(c, dim, leaves, targets)
+		coarse = octree.Balance21Distributed(c, dim, coarse, nil)
+		coarse = octree.PartitionWeighted(c, coarse, nil)
+		cnt := par.Allreduce(c, int64(len(coarse)), func(a, b int64) int64 { return a + b })
+		if cnt >= prev {
+			break
+		}
+		cm := mesh.New(c, dim, coarse)
+		h.Down = append(h.Down, NewTransfer(cur, cm.Keys[:cm.NumOwned]))
+		h.Up = append(h.Up, NewTransfer(cm, cur.Keys[:cur.NumOwned]))
+		h.Meshes = append(h.Meshes, cm)
+		cur, prev = cm, cnt
+	}
+	return h
+}
+
+// Levels returns the number of levels in the ladder (>= 1).
+func (h *Hierarchy) Levels() int { return len(h.Meshes) }
+
+func globalElems(c *par.Comm, m *mesh.Mesh) int64 {
+	return par.Allreduce(c, int64(len(m.Elems)), func(a, b int64) int64 { return a + b })
+}

@@ -1,0 +1,266 @@
+package mg
+
+import (
+	"proteus/internal/fem"
+	"proteus/internal/la"
+	"proteus/internal/mesh"
+	"proteus/internal/par"
+)
+
+// Coefficient names one fine-mesh field the level operators depend on
+// (e.g. φ/μ for the mixture density, the velocity for convection). Refresh
+// injects each down the ladder before reassembling the level operators.
+type Coefficient struct {
+	Vec  []float64 // full local fine-mesh vector (aliased, not copied)
+	Ndof int
+}
+
+// Config fixes one GMG preconditioner instance.
+type Config struct {
+	// Ndof is the dofs per node of the preconditioned system.
+	Ndof int
+	// Coefs are the fine-mesh fields the level operators are assembled
+	// from; Refresh re-injects them to every level.
+	Coefs []Coefficient
+	// Assemble fills lvl.Mat (already allocated/zeroed) from lvl.Coef on a
+	// coarse level, including the level's boundary-condition row edits. It
+	// runs serially per rank (the level assemblers are pinned to one
+	// worker so reassembly is bitwise reproducible at any pool size).
+	Assemble func(lvl *Level)
+	// BoundaryDirichlet masks domain-boundary rows in the inter-level
+	// transfers (restricted residuals and prolonged corrections), for
+	// systems with Dirichlet walls on every level (the NS velocity block).
+	BoundaryDirichlet bool
+	// Smoother selects the per-level smoother: "ilu0" (default, the
+	// rank-block ILU(0) used by the Table II stages) or "jacobi".
+	Smoother string
+	// PreSmooth/PostSmooth are the smoothing sweeps per level on the way
+	// down/up (defaults 1/1); CoarseSmooth is the sweep count standing in
+	// for a direct solve on the coarsest level (default 8).
+	PreSmooth, PostSmooth, CoarseSmooth int
+	// Omega is the smoother damping (default 1 for ilu0, 2/3 for jacobi).
+	Omega float64
+}
+
+func (c *Config) defaults() {
+	if c.Smoother == "" {
+		c.Smoother = "ilu0"
+	}
+	if c.PreSmooth == 0 {
+		c.PreSmooth = 1
+	}
+	if c.PostSmooth == 0 {
+		c.PostSmooth = 1
+	}
+	if c.CoarseSmooth == 0 {
+		c.CoarseSmooth = 8
+	}
+	if c.Omega == 0 {
+		if c.Smoother == "jacobi" {
+			c.Omega = 2.0 / 3.0
+		} else {
+			c.Omega = 1
+		}
+	}
+}
+
+// Level is one rung of the preconditioner: its mesh, the frozen-sparsity
+// assembler and operator, the injected coefficient fields, and the cycle
+// work vectors. The Assemble callback sees the exported fields; Scratch
+// is its hook for per-level kernel workspace (allocated on first use, so
+// warm refreshes stay allocation-free).
+type Level struct {
+	M       *mesh.Mesh
+	Asm     *fem.Assembler // nil on the fine level (operator comes from the stage)
+	Mat     *la.BSRMat
+	Coef    [][]float64
+	Scratch any
+
+	smoother   la.PC
+	bnd        []int32 // Dirichlet dof-rows (owned), nil unless BoundaryDirichlet
+	x, b, r, t []float64
+}
+
+// PCGMG is a geometric multigrid V-cycle preconditioner over a Hierarchy,
+// pluggable wherever the stage PCs go (la.PC + la.Refresher). The fine
+// operator is the stage's own matrix (SetFineOperator); coarse operators
+// are reassembled from injected coefficients on every Refresh. Apply runs
+// a single V-cycle with fixed sweep counts and no inner reductions, so it
+// is a fixed linear operator, collective-consistent at any rank count,
+// and bitwise independent of the worker-pool size (only the already
+// shard-canonical SpMV uses the pool; smoothing, transfers and vector
+// updates are serial per rank).
+type PCGMG struct {
+	h   *Hierarchy
+	cfg Config
+	lv  []*Level
+}
+
+// NewPCGMG builds the per-level state over an existing hierarchy. pool
+// (may be nil) is attached to the level operators for sharded SpMV; level
+// assembly itself is pinned serial for reproducibility. Collective (level
+// mesh vector setup only — no communication).
+func NewPCGMG(h *Hierarchy, pool *par.Pool, cfg Config) *PCGMG {
+	cfg.defaults()
+	p := &PCGMG{h: h, cfg: cfg}
+	for l, m := range h.Meshes {
+		lvl := &Level{M: m}
+		lvl.Coef = make([][]float64, len(cfg.Coefs))
+		if l == 0 {
+			for i, cf := range cfg.Coefs {
+				lvl.Coef[i] = cf.Vec
+			}
+		} else {
+			lvl.Asm = fem.NewAssembler(m, cfg.Ndof)
+			lvl.Asm.SetWorkers(1)
+			if pool != nil {
+				lvl.Asm.SetPool(pool)
+			}
+			for i, cf := range cfg.Coefs {
+				lvl.Coef[i] = m.NewVec(cf.Ndof)
+			}
+		}
+		if cfg.BoundaryDirichlet {
+			for i := 0; i < m.NumOwned; i++ {
+				if m.OnBoundary(i) {
+					for d := 0; d < cfg.Ndof; d++ {
+						lvl.bnd = append(lvl.bnd, int32(i*cfg.Ndof+d))
+					}
+				}
+			}
+		}
+		lvl.x = m.NewVec(cfg.Ndof)
+		lvl.b = m.NewVec(cfg.Ndof)
+		lvl.r = m.NewVec(cfg.Ndof)
+		lvl.t = m.NewVec(cfg.Ndof)
+		p.lv = append(p.lv, lvl)
+	}
+	return p
+}
+
+// Levels returns the number of grid levels the cycle runs over.
+func (p *PCGMG) Levels() int { return len(p.lv) }
+
+// Hierarchy returns the mesh ladder this preconditioner cycles over.
+func (p *PCGMG) Hierarchy() *Hierarchy { return p.h }
+
+// SetFineOperator points level 0 at the stage's assembled fine matrix.
+// Call before every Refresh; a changed operator object drops the fine
+// smoother so it is rebuilt against the new matrix.
+func (p *PCGMG) SetFineOperator(mat *la.BSRMat) {
+	if p.lv[0].Mat != mat {
+		p.lv[0].Mat = mat
+		p.lv[0].smoother = nil
+	}
+}
+
+// Refresh re-injects the coefficient fields down the ladder, reassembles
+// every coarse-level operator in place through the warm assembly plan,
+// and refactors the smoothers — the in-place refresh contract the other
+// stage PCs follow. Collective; allocation-free once warm.
+func (p *PCGMG) Refresh() {
+	for l := 1; l < len(p.lv); l++ {
+		fine, lvl := p.lv[l-1], p.lv[l]
+		for i, cf := range p.cfg.Coefs {
+			p.h.Down[l].Eval(fine.Coef[i], cf.Ndof, lvl.Coef[i], false)
+			lvl.M.GhostRead(lvl.Coef[i], cf.Ndof)
+		}
+	}
+	for l := 1; l < len(p.lv); l++ {
+		lvl := p.lv[l]
+		if lvl.Mat == nil {
+			lvl.Mat = lvl.Asm.NewMatrix(fem.LayoutAIJ)
+		} else {
+			lvl.Mat.Zero()
+		}
+		p.cfg.Assemble(lvl)
+		p.refreshSmoother(lvl)
+	}
+	p.refreshSmoother(p.lv[0])
+}
+
+func (p *PCGMG) refreshSmoother(lvl *Level) {
+	if lvl.smoother == nil {
+		if p.cfg.Smoother == "jacobi" {
+			lvl.smoother = la.NewPCJacobi(lvl.Mat)
+		} else {
+			lvl.smoother = la.NewPCBJacobiILU0(lvl.Mat)
+		}
+		return
+	}
+	lvl.smoother.(la.Refresher).Refresh()
+}
+
+// Apply runs one V-cycle on r, writing the correction to z (owned
+// segments, as the KSP passes them). Collective.
+func (p *PCGMG) Apply(r, z []float64) {
+	lv := p.lv
+	L := len(lv)
+	ndof := p.cfg.Ndof
+	f := lv[0]
+	n0 := f.M.NumOwned * ndof
+	copy(f.b[:n0], r[:n0])
+	for l := 0; l < L-1; l++ {
+		lvl := lv[l]
+		zero(lvl.x)
+		p.smooth(lvl, p.cfg.PreSmooth, true)
+		n := lvl.M.NumOwned * ndof
+		lvl.Mat.Apply(lvl.x, lvl.t)
+		for i := 0; i < n; i++ {
+			lvl.r[i] = lvl.b[i] - lvl.t[i]
+		}
+		maskRows(lvl.r, lvl.bnd)
+		next := lv[l+1]
+		p.h.Up[l+1].Restrict(lvl.r, ndof, next.b)
+		maskRows(next.b, next.bnd)
+	}
+	last := lv[L-1]
+	zero(last.x)
+	p.smooth(last, p.cfg.CoarseSmooth, true)
+	for l := L - 2; l >= 0; l-- {
+		lvl, next := lv[l], lv[l+1]
+		p.h.Up[l+1].Eval(next.x, ndof, lvl.t, false)
+		maskRows(lvl.t, lvl.bnd)
+		n := lvl.M.NumOwned * ndof
+		for i := 0; i < n; i++ {
+			lvl.x[i] += lvl.t[i]
+		}
+		p.smooth(lvl, p.cfg.PostSmooth, false)
+	}
+	copy(z[:n0], f.x[:n0])
+}
+
+// smooth runs damped-relaxation sweeps x += ω M⁻¹ (b - A x) on one level.
+// xZero skips the first residual SpMV when x is known to be zero (the
+// skip is taken uniformly on every rank, keeping the collective schedule
+// aligned).
+func (p *PCGMG) smooth(lvl *Level, sweeps int, xZero bool) {
+	n := lvl.M.NumOwned * p.cfg.Ndof
+	om := p.cfg.Omega
+	for s := 0; s < sweeps; s++ {
+		if s == 0 && xZero {
+			copy(lvl.r[:n], lvl.b[:n])
+		} else {
+			lvl.Mat.Apply(lvl.x, lvl.t)
+			for i := 0; i < n; i++ {
+				lvl.r[i] = lvl.b[i] - lvl.t[i]
+			}
+		}
+		lvl.smoother.Apply(lvl.r[:n], lvl.t[:n])
+		for i := 0; i < n; i++ {
+			lvl.x[i] += om * lvl.t[i]
+		}
+	}
+}
+
+func maskRows(v []float64, rows []int32) {
+	for _, r := range rows {
+		v[r] = 0
+	}
+}
+
+func zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}
