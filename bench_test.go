@@ -204,8 +204,10 @@ func BenchmarkTransferSequential(b *testing.B) {
 }
 
 // benchRemeshPipeline drives a remesh-every-step swirling-drop run and
-// reports the per-round remesh wall-clock split into its pipeline stages.
-func benchRemeshPipeline(b *testing.B, sequential bool) {
+// reports the per-round remesh wall-clock split into its pipeline stages,
+// plus the incremental-remesh accounting (how many rounds took the ripple
+// balance and the mesh patch versus their from-scratch fallbacks).
+func benchRemeshPipeline(b *testing.B, ranks int, sequential, disableIncr bool) {
 	swirl := func(x, y, z, t float64) (float64, float64, float64) {
 		sx := math.Sin(math.Pi * x)
 		sy := math.Sin(math.Pi * y)
@@ -221,8 +223,9 @@ func benchRemeshPipeline(b *testing.B, sequential bool) {
 			BulkLevel: 4, InterfaceLevel: 6,
 			RemeshEvery: 1, PrescribedVel: swirl,
 			SequentialTransfer: sequential,
+			DisableIncremental: disableIncr,
 		}
-		par.Run(4, func(c *par.Comm) {
+		par.Run(ranks, func(c *par.Comm) {
 			sim := core.New(c, cfg, func(x, y, z float64) float64 {
 				return chns.EquilibriumProfile(math.Hypot(x-0.5, y-0.7)-0.15, prm.Cn)
 			})
@@ -248,10 +251,24 @@ func benchRemeshPipeline(b *testing.B, sequential bool) {
 	b.ReportMetric(ms(rs.Transfer), "transfer-ms")
 	b.ReportMetric(float64(rs.Rounds), "rounds")
 	b.ReportMetric(float64(rs.PartitionOnly), "partition-only-rounds")
+	b.ReportMetric(float64(rs.IncrBalance), "incr-balance-rounds")
+	b.ReportMetric(float64(rs.IncrBuild), "incr-build-rounds")
+	b.ReportMetric(float64(rs.RippleRounds), "ripple-rounds")
+	if rs.TotalOctants > 0 {
+		b.ReportMetric(float64(rs.DirtyOctants)/float64(rs.TotalOctants), "dirty-frac")
+	}
 }
 
-func BenchmarkRemeshPipeline_Batched(b *testing.B)    { benchRemeshPipeline(b, false) }
-func BenchmarkRemeshPipeline_Sequential(b *testing.B) { benchRemeshPipeline(b, true) }
+func BenchmarkRemeshPipeline_Batched(b *testing.B)    { benchRemeshPipeline(b, 4, false, false) }
+func BenchmarkRemeshPipeline_Sequential(b *testing.B) { benchRemeshPipeline(b, 4, true, false) }
+
+// The incremental-remesh ablation (PR 8): identical run with the ripple
+// balance + mesh/plan patching on versus forced from-scratch rebuilds.
+// Serial, so every round is partition-stable and the patch path engages
+// on each one; the balance-ms and build-ms sub-timers are the comparison
+// targets (the solves are bitwise identical either way).
+func BenchmarkRemeshPipeline_Incremental(b *testing.B) { benchRemeshPipeline(b, 1, false, false) }
+func BenchmarkRemeshPipeline_FullRebuild(b *testing.B) { benchRemeshPipeline(b, 1, false, true) }
 
 // ---------------------------------------------------------------------------
 // Assembly persistence — cold (first assembly: COO-map sparsity build +

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -90,6 +91,10 @@ func main() {
 	steps := flag.Int("steps", 3, "time steps per sweep point")
 	gobench := flag.String("gobench", "", "also run `go test -bench <regexp>` on the root package and record its metrics")
 	out := flag.String("out", "BENCH.json", "output JSON path")
+	baseline := flag.String("baseline", "", "committed BENCH_*.json to gate against; exit 1 on wall-clock or Krylov-iteration regressions")
+	tol := flag.Float64("tol", 0.35, "relative wall-clock noise bound for -baseline (0.35 = fail beyond +35%)")
+	wallFloor := flag.Float64("wall-floor", 25, "absolute wall-clock slack in ms added on top of -tol (scheduler jitter dominates short smoke runs)")
+	iterTol := flag.Float64("iter-tol", 0.5, "absolute slack on mean Krylov iterations per stage for -baseline")
 	flag.Parse()
 
 	ranks, err := splitInts(*ranksList)
@@ -157,6 +162,94 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d runs, %d gobench results)\n", *out, len(file.Runs), len(file.Gobench))
+
+	if *baseline != "" {
+		if err := checkBaseline(file, *baseline, *tol, *wallFloor, *iterTol); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runKey identifies a sweep point across bench files for baseline
+// matching.
+type runKey struct {
+	Case, Preset, PC         string
+	Ranks, VecWorkers, Steps int
+}
+
+func (r runRecord) key() runKey {
+	return runKey{Case: r.Case, Preset: r.Preset, PC: r.PC, Ranks: r.Ranks, VecWorkers: r.VecWorkers, Steps: r.Steps}
+}
+
+func (k runKey) String() string {
+	return fmt.Sprintf("%s/%s ranks=%d vw=%d pc=%s steps=%d", k.Case, k.Preset, k.Ranks, k.VecWorkers, k.PC, k.Steps)
+}
+
+// checkBaseline is the regression gate: every sweep point present in
+// both the current run and the committed baseline must be no slower
+// than baseline wall clock times (1+tol), plus wallFloor ms of absolute
+// slack (short smoke runs jitter by a fixed amount, not a fraction),
+// and no worse than iterTol extra mean Krylov iterations in any stage.
+// Iteration counts are the noise-free signal — a preconditioner
+// regression shows up there even when wall clock hides inside the
+// tolerance. Sweep points in only one of the two files are reported but
+// never fail the gate, so the grid can grow without re-baselining.
+func checkBaseline(cur benchFile, path string, tol, wallFloor, iterTol float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %v", err)
+	}
+	var base benchFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %v", path, err)
+	}
+	baseBy := make(map[runKey]runRecord, len(base.Runs))
+	for _, r := range base.Runs {
+		baseBy[r.key()] = r
+	}
+
+	var regressions []string
+	matched := 0
+	for _, r := range cur.Runs {
+		b, ok := baseBy[r.key()]
+		if !ok {
+			fmt.Printf("baseline: %s not in %s, skipping\n", r.key(), path)
+			continue
+		}
+		matched++
+		delete(baseBy, r.key())
+		if limit := b.WallMS*(1+tol) + wallFloor; r.WallMS > limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: wall %.1fms > %.1fms (baseline %.1fms +%.0f%% +%.0fms)",
+				r.key(), r.WallMS, limit, b.WallMS, tol*100, wallFloor))
+		}
+		for stage, bi := range b.Stats.KrylovIters {
+			ci, ok := r.Stats.KrylovIters[stage]
+			if !ok {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: stage %q present in baseline but missing from run", r.key(), stage))
+				continue
+			}
+			if ci.Mean > bi.Mean+iterTol {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %s iterations %.2f > baseline %.2f (+%.1f allowed)",
+					r.key(), stage, ci.Mean, bi.Mean, iterTol))
+			}
+		}
+	}
+	for k := range baseBy {
+		fmt.Printf("baseline: %s in %s was not exercised by this sweep\n", k, path)
+	}
+	if matched == 0 {
+		return fmt.Errorf("baseline %s: no sweep point matched the current grid", path)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("baseline %s: %d regression(s):\n  %s",
+			path, len(regressions), strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("baseline %s: %d run(s) within tolerance (wall +%.0f%%+%.0fms, iters +%.1f)\n",
+		path, matched, tol*100, wallFloor, iterTol)
+	return nil
 }
 
 // runOne executes a single sweep point and returns its record. Any

@@ -14,10 +14,20 @@ import (
 // over that shared ladder.
 
 // ensureHierarchy returns the solver's MG mesh ladder, building it from
-// the current mesh on first use in an epoch. Collective.
+// the current mesh on first use in an epoch. After an incremental rebind
+// the previous ladder is refreshed instead — unchanged coarse levels are
+// reused, the rest rebuilt — with a result bitwise identical to a from-
+// scratch build. Collective.
 func (s *Solver) ensureHierarchy() *mg.Hierarchy {
 	if s.mgH == nil {
-		s.mgH = mg.NewHierarchy(s.M, mg.HierarchyOptions{})
+		if s.mgPrev != nil {
+			var reused int
+			s.mgH, reused = mg.RefreshHierarchy(s.M, s.mgPrev, mg.HierarchyOptions{})
+			s.MGLevelsReused += reused
+			s.mgPrev = nil
+		} else {
+			s.mgH = mg.NewHierarchy(s.M, mg.HierarchyOptions{})
+		}
 	}
 	return s.mgH
 }

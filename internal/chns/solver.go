@@ -79,6 +79,15 @@ type RemeshTimes struct {
 	// forest was unchanged but whose partition moved, so fields were
 	// migrated exactly (no interpolation).
 	Rounds, PartitionOnly int
+	// Incremental-remesh telemetry: how often the ripple balance and the
+	// mesh patch ran versus their from-scratch fallbacks, how much ripple
+	// work the seeded balance did, and the global dirty fraction the
+	// incremental/full decision was gated on (DirtyOctants out of
+	// TotalOctants, accumulated over rounds that changed the forest).
+	IncrBalance, FullBalance   int
+	IncrBuild, FullBuild       int
+	RippleRounds, RippleIters  int
+	DirtyOctants, TotalOctants int64
 }
 
 // Add accumulates o into t.
@@ -92,6 +101,14 @@ func (t *RemeshTimes) Add(o RemeshTimes) {
 	t.Transfer += o.Transfer
 	t.Rounds += o.Rounds
 	t.PartitionOnly += o.PartitionOnly
+	t.IncrBalance += o.IncrBalance
+	t.FullBalance += o.FullBalance
+	t.IncrBuild += o.IncrBuild
+	t.FullBuild += o.FullBuild
+	t.RippleRounds += o.RippleRounds
+	t.RippleIters += o.RippleIters
+	t.DirtyOctants += o.DirtyOctants
+	t.TotalOctants += o.TotalOctants
 }
 
 // Options configures the solver implementation choices being benchmarked.
@@ -223,6 +240,13 @@ type Solver struct {
 	// GMG-preconditioned stage (built lazily on the first gmg stage of a
 	// mesh epoch, dropped with the other mesh-keyed state on remesh).
 	mgH *mg.Hierarchy
+	// mgPrev holds the previous epoch's ladder across an incremental
+	// rebind so ensureHierarchy can refresh it (reusing unchanged coarse
+	// levels) instead of rebuilding from scratch. Full rebinds clear it.
+	mgPrev *mg.Hierarchy
+	// MGLevelsReused accumulates how many coarse ladder levels hierarchy
+	// refreshes reused (telemetry).
+	MGLevelsReused int
 
 	// Per-worker kernel scratch for the sharded element loops: matrix
 	// kernels and vector/residual kernels each keep one private copy per
@@ -393,7 +417,7 @@ func (s *Solver) SetMeshEpoch(e uint64) {
 	s.vuBlockKSP, s.vuBlockPC, s.vuBlockRHS = nil, nil, nil
 	// The multigrid ladder is keyed to the old forest: coarse meshes,
 	// transfers and operators must all rebuild from the new one.
-	s.mgH = nil
+	s.mgH, s.mgPrev = nil, nil
 }
 
 // MeshEpoch returns the solver's current mesh epoch.
@@ -437,6 +461,40 @@ func (s *Solver) Rebind(m *mesh.Mesh, epoch uint64) {
 	s.vuRHS, s.vuComp, s.vuNewVel, s.vuBlockRHS = nil, nil, nil, nil
 	// Stale coarse operators must never survive a Rebind: the hierarchy
 	// is rebuilt from the new mesh on the next GMG-preconditioned stage.
+	s.mgH, s.mgPrev = nil, nil
+}
+
+// RebindPatched moves the solver to an incrementally patched mesh
+// (mesh.Patch). It drops exactly the state Rebind drops — operators,
+// preconditioners, per-step vectors — but repairs what the mesh delta
+// proves survived: each stage assembler's frozen sparsity and assembly
+// plans are patched in place of cold rebuilds (fem.RebindPatched), and
+// the previous multigrid ladder is kept aside so the next
+// GMG-preconditioned stage refreshes it, reusing unchanged coarse levels.
+// Every rebuilt object is bitwise identical to what the full Rebind path
+// would produce, so the two paths yield identical runs. Collective.
+func (s *Solver) RebindPatched(m *mesh.Mesh, epoch uint64, d *mesh.Delta) {
+	s.M = m
+	s.PhiMu = m.NewVec(2)
+	s.Vel = m.NewVec(m.Dim)
+	s.P = m.NewVec(1)
+	s.ElemCn = make([]float64, m.NumElems())
+	for i := range s.ElemCn {
+		s.ElemCn[i] = s.Par.Cn
+	}
+	s.meshEpoch = epoch
+	s.asmCH.RebindPatched(m, epoch, d)
+	s.asmVel.RebindPatched(m, epoch, d)
+	s.asmS.RebindPatched(m, epoch, d)
+	s.chMat, s.nsMat, s.ppMat, s.vuBlockMat = nil, nil, nil, nil
+	s.vuMass, s.vuMassPC = nil, nil
+	s.chMassMat, s.chMassPC = nil, nil
+	s.chPC, s.nsPC, s.ppPC, s.vuBlockPC = nil, nil, nil, nil
+	s.chOld = nil
+	s.nsRHS = nil
+	s.ppRHS, s.ppPsi = nil, nil
+	s.vuRHS, s.vuComp, s.vuNewVel, s.vuBlockRHS = nil, nil, nil, nil
+	s.mgPrev = s.mgH
 	s.mgH = nil
 }
 

@@ -53,6 +53,21 @@ type Config struct {
 	// instead of the batched single-round transfer. Benchmark use only.
 	SequentialTransfer bool
 
+	// DisableIncremental forces the from-scratch balance/build/rebind
+	// pipeline on every remesh round. The incremental path is bitwise
+	// identical to it, so this is an ablation and equivalence-testing
+	// knob, not a correctness one.
+	DisableIncremental bool
+
+	// RemeshFullFrac is the global dirty-octant fraction above which a
+	// remesh round abandons the incremental path (ripple balance, mesh
+	// patch, plan repair) and rebuilds from scratch: incremental work is
+	// proportional to the changed region and stops paying once most of
+	// the forest changed. Default 0.25; a negative value always falls
+	// back (equivalent to DisableIncremental for the gated stages), a
+	// value >= 1 never does.
+	RemeshFullFrac float64
+
 	// PrescribedVel, when non-nil, runs only the CH block with this
 	// analytic velocity (the Fig. 5 swirling-flow validation mode).
 	PrescribedVel func(x, y, z, t float64) (vx, vy, vz float64)
@@ -76,6 +91,9 @@ func (c *Config) defaults() {
 	}
 	if c.FineLevel == 0 {
 		c.FineLevel = c.InterfaceLevel
+	}
+	if c.RemeshFullFrac == 0 {
+		c.RemeshFullFrac = 0.25
 	}
 }
 
@@ -344,9 +362,36 @@ func (s *Simulation) Adapt() {
 	coarse := octree.ParCoarsen(s.Comm, cfg.Dim, refined, refinedTarget)
 	rt.Coarsen += time.Since(tCoarsen)
 
-	// --- Balance and repartition.
+	// --- Balance and repartition. When the changed region is a small
+	// enough fraction of the forest (a collective decision on global
+	// counts), the 2:1 balance runs as a ripple from the dirty octants —
+	// bitwise identical to the from-scratch sweep, with work proportional
+	// to the change. Conservative dirty sets are safe: a seed that did
+	// not actually change imposes only demands the old balance already
+	// satisfies.
 	tBalance := time.Now()
-	balanced := octree.Balance21Distributed(s.Comm, cfg.Dim, coarse, nil)
+	var balanced []sfc.Octant
+	balledIncr := false
+	if !cfg.DisableIncremental {
+		dirtyPre := octree.AddedLeaves(m.Elems, coarse)
+		cnt := par.AllreduceSlice(s.Comm, []int64{int64(len(dirtyPre)), int64(len(coarse))},
+			func(a, b int64) int64 { return a + b })
+		rt.DirtyOctants += cnt[0]
+		rt.TotalOctants += cnt[1]
+		// Collective gate: every rank sees the same global counts.
+		if cnt[1] > 0 && float64(cnt[0]) <= cfg.RemeshFullFrac*float64(cnt[1]) {
+			var st octree.RippleStats
+			balanced, st = octree.Balance21Ripple(s.Comm, cfg.Dim, coarse, dirtyPre, nil)
+			balledIncr = true
+			rt.IncrBalance++
+			rt.RippleRounds += st.Rounds
+			rt.RippleIters += st.Iters
+		}
+	}
+	if !balledIncr {
+		balanced = octree.Balance21Distributed(s.Comm, cfg.Dim, coarse, nil)
+		rt.FullBalance++
+	}
 	rt.Balance += time.Since(tBalance)
 	tPartition := time.Now()
 	balanced = octree.PartitionWeighted(s.Comm, balanced, nil)
@@ -367,19 +412,49 @@ func (s *Simulation) Adapt() {
 	// re-created through interpolation.
 	partitionOnly := forestUnchanged(s.Comm, m.Elems, balanced)
 
-	// --- Build the new distributed mesh.
+	// --- Build the new distributed mesh: patched from the old one when
+	// the partition held still and the dirty fraction is under the
+	// threshold, from scratch otherwise. Patch detects a moved partition
+	// itself (collectively) and declines, so the gate here is only the
+	// fraction economics. The patched mesh is bitwise identical to the
+	// from-scratch build.
 	tBuild := time.Now()
-	newM := mesh.New(s.Comm, cfg.Dim, balanced)
+	var newM *mesh.Mesh
+	var delta *mesh.Delta
+	if !cfg.DisableIncremental && !partitionOnly {
+		dirtyPost := octree.AddedLeaves(m.Elems, balanced)
+		cnt := par.AllreduceSlice(s.Comm, []int64{int64(len(dirtyPost)), int64(len(balanced))},
+			func(a, b int64) int64 { return a + b })
+		if cnt[1] > 0 && float64(cnt[0]) <= cfg.RemeshFullFrac*float64(cnt[1]) {
+			newM, delta = mesh.Patch(s.Comm, cfg.Dim, balanced, m, dirtyPost)
+		}
+	}
+	if newM == nil {
+		newM = mesh.New(s.Comm, cfg.Dim, balanced)
+		rt.FullBuild++
+	} else {
+		rt.IncrBuild++
+	}
 	rt.Build += time.Since(tBuild)
 
 	// --- Transfer fields and rebind the solver.
 	tTransfer := time.Now()
 	s.MeshEpoch++
 	oldPhiMu, oldVel, oldP := sol.PhiMu, sol.Vel, sol.P
+	// An incremental build carries its delta into the solver rebind so
+	// assembly plans are repaired instead of rebuilt; otherwise the full
+	// invalidating rebind runs. Both produce bitwise-identical solves.
+	rebind := func() {
+		if delta != nil {
+			sol.RebindPatched(newM, s.MeshEpoch, delta)
+		} else {
+			sol.Rebind(newM, s.MeshEpoch)
+		}
+	}
 	var newCnMark []float64
 	switch {
 	case partitionOnly:
-		sol.Rebind(newM, s.MeshEpoch)
+		rebind()
 		transfer.MigrateNodal(m, newM, []transfer.Field{
 			{Src: oldPhiMu, Dst: sol.PhiMu, Ndof: 2},
 			{Src: oldVel, Dst: sol.Vel, Ndof: cfg.Dim},
@@ -393,13 +468,13 @@ func (s *Simulation) Adapt() {
 		newPhiMu := transfer.Nodal(m, oldPhiMu, newM, 2)
 		newVel := transfer.Nodal(m, oldVel, newM, cfg.Dim)
 		newP := transfer.Nodal(m, oldP, newM, 1)
-		sol.Rebind(newM, s.MeshEpoch)
+		rebind()
 		copy(sol.PhiMu, newPhiMu)
 		copy(sol.Vel, newVel)
 		copy(sol.P, newP)
 		newCnMark = transfer.CellCentered(s.Comm, cfg.Dim, refined, refinedCn, newM.Elems)
 	default:
-		sol.Rebind(newM, s.MeshEpoch)
+		rebind()
 		transfer.Batch(m, newM, []transfer.Field{
 			{Src: oldPhiMu, Dst: sol.PhiMu, Ndof: 2},
 			{Src: oldVel, Dst: sol.Vel, Ndof: cfg.Dim},

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"proteus/internal/par"
+)
+
+// runSwirl advances a remesh-every-step swirling-drop run and returns the
+// simulation for state comparison.
+func runSwirl(c *par.Comm, mutate func(*Config), steps int) *Simulation {
+	cfg := smallSwirlConfig(false)
+	cfg.RemeshEvery = 1
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sim := New(c, cfg, dropPhi(cfg.Params.Cn))
+	if err := sim.Run(steps); err != nil {
+		panic(fmt.Sprintf("rank %d: run failed: %v", c.Rank(), err))
+	}
+	return sim
+}
+
+// mustIdenticalRuns asserts two simulations ended in bitwise-identical
+// state on this rank: same local forest, same node set, same solution
+// values to the last bit.
+func mustIdenticalRuns(c *par.Comm, a, b *Simulation) {
+	r := c.Rank()
+	if a.StepIndex != b.StepIndex || a.Time != b.Time || a.RemeshCount != b.RemeshCount {
+		panic(fmt.Sprintf("rank %d: trajectory diverged: step %d/%d t %v/%v remesh %d/%d",
+			r, a.StepIndex, b.StepIndex, a.Time, b.Time, a.RemeshCount, b.RemeshCount))
+	}
+	if len(a.Mesh.Elems) != len(b.Mesh.Elems) {
+		panic(fmt.Sprintf("rank %d: local forest size %d vs %d", r, len(a.Mesh.Elems), len(b.Mesh.Elems)))
+	}
+	for i := range a.Mesh.Elems {
+		if !a.Mesh.Elems[i].EqualKey(b.Mesh.Elems[i]) {
+			panic(fmt.Sprintf("rank %d: elem %d differs", r, i))
+		}
+	}
+	if a.Mesh.NumOwned != b.Mesh.NumOwned || a.Mesh.NumLocal != b.Mesh.NumLocal {
+		panic(fmt.Sprintf("rank %d: node counts %d/%d vs %d/%d",
+			r, a.Mesh.NumOwned, a.Mesh.NumLocal, b.Mesh.NumOwned, b.Mesh.NumLocal))
+	}
+	for i := 0; i < a.Mesh.NumLocal; i++ {
+		if a.Mesh.Keys[i] != b.Mesh.Keys[i] {
+			panic(fmt.Sprintf("rank %d: node key %d differs", r, i))
+		}
+	}
+	cmp := func(name string, x, y []float64) {
+		if len(x) != len(y) {
+			panic(fmt.Sprintf("rank %d: %s length %d vs %d", r, name, len(x), len(y)))
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				panic(fmt.Sprintf("rank %d: %s[%d] = %v vs %v (diff %g)", r, name, i, x[i], y[i], x[i]-y[i]))
+			}
+		}
+	}
+	cmp("PhiMu", a.Solver.PhiMu, b.Solver.PhiMu)
+	cmp("Vel", a.Solver.Vel, b.Solver.Vel)
+	cmp("P", a.Solver.P, b.Solver.P)
+	cmp("ElemCn", a.Solver.ElemCn, b.Solver.ElemCn)
+}
+
+// TestIncrementalRemeshBitwiseEquivalence is the PR's headline invariant
+// end to end: a remesh-every-step run on the incremental path (ripple
+// balance, mesh patch, plan repair, hierarchy refresh) must be bitwise
+// identical to the from-scratch path at every rank count — same forests,
+// same node numbering, same solution bits.
+func TestIncrementalRemeshBitwiseEquivalence(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		par.Run(p, func(c *par.Comm) {
+			incr := runSwirl(c, nil, 4)
+			full := runSwirl(c, func(cfg *Config) { cfg.DisableIncremental = true }, 4)
+			mustIdenticalRuns(c, incr, full)
+
+			st := incr.T.RemeshStages
+			if st.IncrBalance == 0 {
+				panic(fmt.Sprintf("p=%d: incremental balance never engaged: %+v", p, st))
+			}
+			if st.DirtyOctants == 0 || st.TotalOctants == 0 {
+				panic(fmt.Sprintf("p=%d: dirty-fraction telemetry not recorded: %+v", p, st))
+			}
+			fst := full.T.RemeshStages
+			if fst.IncrBalance != 0 || fst.IncrBuild != 0 {
+				panic(fmt.Sprintf("p=%d: DisableIncremental still took the incremental path: %+v", p, fst))
+			}
+			if p == 1 && st.IncrBuild == 0 {
+				// Serial splitters are trivially stable, so the mesh patch
+				// must engage; at p > 1 the SFC partition may legitimately
+				// shift every round and force the from-scratch build.
+				panic(fmt.Sprintf("p=1: mesh patch never engaged: %+v", st))
+			}
+		})
+	}
+}
+
+// TestIncrementalRemeshFallbackThreshold forces every round across the
+// full-rebuild threshold: with RemeshFullFrac negative the dirty fraction
+// always exceeds it, so the gated stages must take the from-scratch path
+// — and still produce the identical run.
+func TestIncrementalRemeshFallbackThreshold(t *testing.T) {
+	par.Run(2, func(c *par.Comm) {
+		forced := runSwirl(c, func(cfg *Config) { cfg.RemeshFullFrac = -1 }, 3)
+		full := runSwirl(c, func(cfg *Config) { cfg.DisableIncremental = true }, 3)
+		mustIdenticalRuns(c, forced, full)
+		st := forced.T.RemeshStages
+		if st.IncrBalance != 0 || st.IncrBuild != 0 {
+			panic(fmt.Sprintf("threshold crossing did not force the full path: %+v", st))
+		}
+		if st.FullBalance == 0 || st.FullBuild == 0 {
+			panic(fmt.Sprintf("fallback counters not recorded: %+v", st))
+		}
+	})
+}

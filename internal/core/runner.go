@@ -249,18 +249,29 @@ func (s *Simulation) WriteVTK(base string) error {
 // mesh size, remesh counts and the level histogram — the raw material of
 // BENCH_*.json trajectories.
 type RunStats struct {
-	Scenario            string      `json:"scenario,omitempty"`
-	Preset              string      `json:"preset,omitempty"`
-	Ranks               int         `json:"ranks"`
-	Step                int         `json:"step"`
-	Time                float64     `json:"time"`
-	GlobalElems         int64       `json:"global_elems"`
-	GlobalDofs          int64       `json:"global_dofs"`
-	RemeshCount         int         `json:"remesh_count"`
-	RemeshRounds        int         `json:"remesh_rounds"`
-	PartitionOnlyRounds int         `json:"partition_only_rounds"`
-	LevelHistogram      []float64   `json:"level_histogram"`
-	Timers              chns.Timers `json:"timers"`
+	Scenario            string  `json:"scenario,omitempty"`
+	Preset              string  `json:"preset,omitempty"`
+	Ranks               int     `json:"ranks"`
+	Step                int     `json:"step"`
+	Time                float64 `json:"time"`
+	GlobalElems         int64   `json:"global_elems"`
+	GlobalDofs          int64   `json:"global_dofs"`
+	RemeshCount         int     `json:"remesh_count"`
+	RemeshRounds        int     `json:"remesh_rounds"`
+	PartitionOnlyRounds int     `json:"partition_only_rounds"`
+	// Incremental-remesh accounting (the full sub-timer split lives in
+	// timers.RemeshStages): how many rounds took the ripple balance and
+	// the mesh patch versus their from-scratch fallbacks, the total
+	// ripple refine rounds, and the mean global dirty fraction the
+	// incremental/full decision saw.
+	IncrBalanceRounds int         `json:"incr_balance_rounds"`
+	FullBalanceRounds int         `json:"full_balance_rounds"`
+	IncrBuildRounds   int         `json:"incr_build_rounds"`
+	FullBuildRounds   int         `json:"full_build_rounds"`
+	RippleRounds      int         `json:"ripple_rounds"`
+	DirtyFraction     float64     `json:"dirty_fraction"`
+	LevelHistogram    []float64   `json:"level_histogram"`
+	Timers            chns.Timers `json:"timers"`
 	// KrylovIters summarizes the per-stage linear-solver iteration counts
 	// (keys "ch", "ns", "pp", "vu"), making preconditioner comparisons —
 	// the GMG-vs-ILU0 iteration claim in particular — machine-checkable
@@ -297,6 +308,10 @@ func iterStats(st chns.StageTimes) IterStats {
 // rank receives the same value.
 func (s *Simulation) Stats() RunStats {
 	t := s.Timers()
+	dirtyFrac := 0.0
+	if t.RemeshStages.TotalOctants > 0 {
+		dirtyFrac = float64(t.RemeshStages.DirtyOctants) / float64(t.RemeshStages.TotalOctants)
+	}
 	return RunStats{
 		Scenario:            s.ScenarioName,
 		Preset:              s.PresetName,
@@ -308,6 +323,12 @@ func (s *Simulation) Stats() RunStats {
 		RemeshCount:         s.RemeshCount,
 		RemeshRounds:        t.RemeshStages.Rounds,
 		PartitionOnlyRounds: t.RemeshStages.PartitionOnly,
+		IncrBalanceRounds:   t.RemeshStages.IncrBalance,
+		FullBalanceRounds:   t.RemeshStages.FullBalance,
+		IncrBuildRounds:     t.RemeshStages.IncrBuild,
+		FullBuildRounds:     t.RemeshStages.FullBuild,
+		RippleRounds:        t.RemeshStages.RippleRounds,
+		DirtyFraction:       dirtyFrac,
 		LevelHistogram:      s.LevelHistogram(),
 		Timers:              t,
 		KrylovIters: map[string]IterStats{

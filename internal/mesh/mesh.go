@@ -560,21 +560,18 @@ func (b *builder) resolveGlobalIDs() {
 		bufs = append(bufs, lst)
 	}
 	srcs, recvd := par.NBXExchange(c, dests, bufs)
-	// Answer with global IDs in request order.
-	ownedIdx := make(map[NodeKey]int64, m.NumOwned)
-	for i := 0; i < m.NumOwned; i++ {
-		ownedIdx[m.Keys[i]] = m.GlobalID[i]
-	}
+	// Answer with global IDs in request order (m.index already maps every
+	// local key, so no owned-key map needs building).
 	replyDests := make([]int, 0, len(srcs))
 	replyBufs := make([][]int64, 0, len(srcs))
 	for i, batch := range recvd {
 		ids := make([]int64, len(batch))
 		for k, rq := range batch {
-			id, ok := ownedIdx[rq.Key]
-			if !ok {
+			li, ok := m.index[rq.Key]
+			if !ok || int(li) >= m.NumOwned {
 				panic(fmt.Sprintf("mesh: rank %d asked rank %d for unowned node %v", srcs[i], c.Rank(), rq.Key))
 			}
-			ids[k] = id
+			ids[k] = m.GlobalID[li]
 		}
 		replyDests = append(replyDests, srcs[i])
 		replyBufs = append(replyBufs, ids)
@@ -628,15 +625,11 @@ func (b *builder) buildScatterLists() {
 	}
 	sort.Slice(m.recvFrom, func(i, j int) bool { return m.recvFrom[i].rank < m.recvFrom[j].rank })
 	srcs, recvd := par.NBXExchange(c, dests, bufs)
-	ownedIdx := make(map[NodeKey]int32, m.NumOwned)
-	for i := 0; i < m.NumOwned; i++ {
-		ownedIdx[m.Keys[i]] = int32(i)
-	}
 	for i, batch := range recvd {
 		idxs := make([]int32, len(batch))
 		for k, rq := range batch {
-			li, ok := ownedIdx[rq.Key]
-			if !ok {
+			li, ok := m.index[rq.Key]
+			if !ok || int(li) >= m.NumOwned {
 				panic("mesh: borrower requested unowned node")
 			}
 			idxs[k] = li

@@ -93,6 +93,87 @@ func NewHierarchy(fine *mesh.Mesh, o HierarchyOptions) *Hierarchy {
 // Levels returns the number of levels in the ladder (>= 1).
 func (h *Hierarchy) Levels() int { return len(h.Meshes) }
 
+// RefreshHierarchy rebuilds the ladder under a remeshed fine mesh,
+// reusing every coarse level of prev whose forest (leaves and partition)
+// is unchanged — the coarsening, balancing and partitioning per level are
+// deterministic, so an unchanged coarse forest implies mesh.New would
+// reproduce the previous level's mesh exactly, and the object is reused
+// instead. A level's transfers are reused only when both adjacent meshes
+// were (level 1 never is: the fine mesh object is always new). Returns
+// the ladder and the number of reused coarse levels; the result is
+// bitwise identical to NewHierarchy(fine, o). Collective.
+func RefreshHierarchy(fine *mesh.Mesh, prev *Hierarchy, o HierarchyOptions) (*Hierarchy, int) {
+	if prev == nil {
+		return NewHierarchy(fine, o), 0
+	}
+	o.defaults()
+	c := fine.Comm
+	dim := fine.Dim
+	h := &Hierarchy{
+		Meshes: []*mesh.Mesh{fine},
+		Down:   []*Transfer{nil},
+		Up:     []*Transfer{nil},
+	}
+	cur := fine
+	prevCnt := globalElems(c, cur)
+	curReused := false
+	reusedLevels := 0
+	for len(h.Meshes) < o.MaxLevels && prevCnt > o.CoarseElems {
+		leaves := append([]sfc.Octant(nil), cur.Elems...)
+		targets := make([]int, len(leaves))
+		for i, lf := range leaves {
+			t := int(lf.Level) - 1
+			if t < o.MinLevel {
+				t = o.MinLevel
+			}
+			targets[i] = t
+		}
+		coarse := octree.ParCoarsen(c, dim, leaves, targets)
+		coarse = octree.Balance21Distributed(c, dim, coarse, nil)
+		coarse = octree.PartitionWeighted(c, coarse, nil)
+		cnt := par.Allreduce(c, int64(len(coarse)), func(a, b int64) int64 { return a + b })
+		if cnt >= prevCnt {
+			break
+		}
+		l := len(h.Meshes)
+		var cm *mesh.Mesh
+		reused := false
+		if l < len(prev.Meshes) && sameLocalForest(c, prev.Meshes[l].Elems, coarse) {
+			cm = prev.Meshes[l]
+			reused = true
+			reusedLevels++
+		} else {
+			cm = mesh.New(c, dim, coarse)
+		}
+		if reused && curReused {
+			h.Down = append(h.Down, prev.Down[l])
+			h.Up = append(h.Up, prev.Up[l])
+		} else {
+			h.Down = append(h.Down, NewTransfer(cur, cm.Keys[:cm.NumOwned]))
+			h.Up = append(h.Up, NewTransfer(cm, cur.Keys[:cur.NumOwned]))
+		}
+		h.Meshes = append(h.Meshes, cm)
+		cur, prevCnt = cm, cnt
+		curReused = reused
+	}
+	return h, reusedLevels
+}
+
+// sameLocalForest reports — collectively and consistently — whether every
+// rank's local leaf list is unchanged.
+func sameLocalForest(c *par.Comm, a, b []sfc.Octant) bool {
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if !a[i].EqualKey(b[i]) {
+				same = false
+				break
+			}
+		}
+	}
+	return par.Allreduce(c, same, func(x, y bool) bool { return x && y })
+}
+
 func globalElems(c *par.Comm, m *mesh.Mesh) int64 {
 	return par.Allreduce(c, int64(len(m.Elems)), func(a, b int64) int64 { return a + b })
 }

@@ -52,26 +52,15 @@ func (t *Tree) balanceTargets(remote []sfc.Octant) ([]int, bool) {
 		targets[i] = int(o.Level)
 	}
 	changed := false
-	impose := func(f sfc.Octant) {
-		var nbuf [26]sfc.Octant
-		for _, n := range f.AllNeighbors(nbuf[:0]) {
-			j := t.PointLocate(n.X, n.Y, n.Z)
-			if j < 0 {
-				continue
-			}
-			// The located leaf contains the whole neighbour octant iff it
-			// is coarser; only then can it violate 2:1 against f.
-			if req := int(f.Level) - 1; int(t.Leaves[j].Level) < req && req > targets[j] {
-				targets[j] = req
-				changed = true
-			}
+	for _, o := range t.Leaves {
+		if t.imposeOn(o, targets) {
+			changed = true
 		}
 	}
-	for _, o := range t.Leaves {
-		impose(o)
-	}
 	for _, ro := range remote {
-		impose(ro)
+		if t.imposeOn(ro, targets) {
+			changed = true
+		}
 	}
 	return targets, changed
 }

@@ -36,6 +36,26 @@ func GatherSplitters(c *par.Comm, leaves []sfc.Octant) Splitters {
 	return s
 }
 
+// Equal reports whether two splitter tables describe the same partition:
+// the same set of non-empty ranks with the same first leaf each. Combined
+// with an unchanged global forest this pins the local leaf lists; the
+// incremental mesh patch uses it to decide whether node ownership is
+// stable enough to reuse the old numbering.
+func (s Splitters) Equal(o Splitters) bool {
+	if s.size != o.size {
+		return false
+	}
+	for r := 0; r < s.size; r++ {
+		if s.has[r] != o.has[r] {
+			return false
+		}
+		if s.has[r] && !s.firsts[r].EqualKey(o.firsts[r]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Owner returns the rank whose leaf range contains the deepest-level point
 // key q (compare with the first-descendant key of a leaf to locate it).
 func (s Splitters) Owner(q sfc.Octant) int {

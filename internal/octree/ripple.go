@@ -1,0 +1,303 @@
+package octree
+
+import (
+	"sort"
+
+	"proteus/internal/par"
+	"proteus/internal/sfc"
+)
+
+// RippleStats reports what a Balance21Ripple call actually did, so the
+// remesh telemetry can distinguish "three octants rippled one round" from
+// "half the mesh cascaded".
+type RippleStats struct {
+	Rounds  int // distributed exchange rounds (0 on a single rank)
+	Iters   int // local fixpoint iterations, summed over rounds
+	Seeds   int // initial dirty seed count on this rank
+	Created int // leaves created on this rank by ripple refinement
+}
+
+// AddedLeaves returns the leaves of cur absent from old (both sorted by
+// Morton key): the octants created by refinement/coarsening or newly
+// arrived on this rank. This is the dirty seed set for Balance21Ripple
+// and mesh.Patch. Octants that moved ranks are conservatively dirty,
+// which keeps the seeding correct under partition drift.
+func AddedLeaves(old, cur []sfc.Octant) []sfc.Octant {
+	var out []sfc.Octant
+	i := 0
+	for _, o := range cur {
+		for i < len(old) && sfc.Less(old[i], o) {
+			i++
+		}
+		if i < len(old) && old[i].EqualKey(o) {
+			continue
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// imposeOn records f's 2:1 grading demand onto the local targets array and
+// reports whether any target grew. Shared by the from-scratch sweep
+// (balanceTargets) and the seeded ripple.
+func (t *Tree) imposeOn(f sfc.Octant, targets []int) bool {
+	changed := false
+	var nbuf [26]sfc.Octant
+	for _, n := range f.AllNeighbors(nbuf[:0]) {
+		j := t.PointLocate(n.X, n.Y, n.Z)
+		if j < 0 {
+			continue
+		}
+		// The located leaf contains the whole neighbour octant iff it is
+		// coarser; only then can it violate 2:1 against f.
+		if req := int(f.Level) - 1; int(t.Leaves[j].Level) < req && req > targets[j] {
+			targets[j] = req
+			changed = true
+		}
+	}
+	return changed
+}
+
+// hasLeaf reports whether o is a current leaf of the (sorted) tree.
+func (t *Tree) hasLeaf(o sfc.Octant) bool {
+	i := sort.Search(len(t.Leaves), func(i int) bool { return !sfc.Less(t.Leaves[i], o) })
+	return i < len(t.Leaves) && t.Leaves[i].EqualKey(o)
+}
+
+// rippleLocal runs the local 2:1 fixpoint seeded from the given dirty
+// leaves instead of sweeping every leaf. Per iteration it imposes grading
+// demands from the seeds only — plus, on the first iteration, from the
+// existing leaves adjacent to a seed, which catches the victim direction
+// (a coarsened seed violating against an unchanged finer neighbour).
+// Leaves created by one iteration become the next iteration's seeds.
+//
+// The demands generated this way are exactly the nonzero demands the
+// full sweep in Balance21 generates at the same iteration: every
+// violating pair in the input involves a changed octant (unchanged pairs
+// were 2:1 in the previously balanced forest), and later iterations can
+// only violate through just-created leaves, which are always seeds.
+// Extra impositions from unchanged leaves are harmless — they are a
+// subset of the full sweep and targets max-combine. The per-iteration
+// targets therefore match Balance21 bitwise, as does the refined forest.
+//
+// Returns the new tree, every leaf created, and the iteration count.
+func (t *Tree) rippleLocal(seeds []sfc.Octant, retain RetainFn) (*Tree, []sfc.Octant, int) {
+	cur := t
+	var createdAll []sfc.Octant
+	iters := 0
+	for len(seeds) > 0 {
+		targets := make([]int, len(cur.Leaves))
+		for i, o := range cur.Leaves {
+			targets[i] = int(o.Level)
+		}
+		changed := false
+		for _, s := range seeds {
+			if cur.imposeOn(s, targets) {
+				changed = true
+			}
+		}
+		if iters == 0 {
+			seen := make(map[int]bool)
+			var nbuf [26]sfc.Octant
+			for _, s := range seeds {
+				for _, n := range s.AllNeighbors(nbuf[:0]) {
+					lo, hi := cur.OverlapRange(n)
+					for j := lo; j < hi; j++ {
+						if !seen[j] {
+							seen[j] = true
+							if cur.imposeOn(cur.Leaves[j], targets) {
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+		iters++
+		if !changed {
+			break
+		}
+		next := cur.Refine(targets, retain)
+		created := AddedLeaves(cur.Leaves, next.Leaves)
+		createdAll = append(createdAll, created...)
+		cur = next
+		seeds = created
+		if iters > sfc.MaxLevel+2 {
+			panic("octree.rippleLocal: failed to converge")
+		}
+	}
+	return cur, createdAll, iters
+}
+
+// balanceTargetsRemote is balanceTargets restricted to remote octants:
+// the local tree is already at a fixpoint when it is called, so the
+// O(n·26·log n) sweep over local leaves would find nothing — skipping it
+// is the point of the ripple.
+func (t *Tree) balanceTargetsRemote(remote []sfc.Octant) ([]int, bool) {
+	targets := make([]int, len(t.Leaves))
+	for i, o := range t.Leaves {
+		targets[i] = int(o.Level)
+	}
+	changed := false
+	for _, ro := range remote {
+		if t.imposeOn(ro, targets) {
+			changed = true
+		}
+	}
+	return targets, changed
+}
+
+// rippleMsg is one boundary-octant update in the ripple exchange. Probe
+// entries are the sender's dirty octants shipped as queries only: the
+// receiver does not impose them (if still a leaf they are also shipped as
+// drivers) but replies with its own leaves adjacent to them, so the
+// victim direction — a remote unchanged fine leaf violating against a
+// local dirty coarse one — is delivered in the first round, exactly when
+// the from-scratch exchange would deliver it.
+type rippleMsg struct {
+	O     sfc.Octant
+	Probe bool
+}
+
+// Balance21Ripple enforces the same 2:1 balance as Balance21Distributed
+// but seeds all work from the dirty octants (the local leaves that
+// changed since the previously balanced forest, see AddedLeaves) instead
+// of sweeping the whole mesh every round. Each round runs the seeded
+// local fixpoint, ships only the leaves created since the last exchange
+// (plus, in round one, the dirty probes) to the ranks owning their
+// neighbour regions via NBX, imposes the received updates, and refines
+// once; termination is the same allreduced no-change flag.
+//
+// The result is bitwise identical to Balance21Distributed on the same
+// input at any rank count: per round the delivered grading demands are
+// exactly the nonzero demands of the full exchange, so every per-round
+// refinement — and hence the final forest — matches leaf for leaf.
+//
+// dirty must list the local leaves absent from the previously balanced
+// local forest (conservative supersets are safe). The caller repartitions
+// afterwards, as with Balance21Distributed.
+func Balance21Ripple(c *par.Comm, dim int, leaves, dirty []sfc.Octant, retain RetainFn) ([]sfc.Octant, RippleStats) {
+	st := RippleStats{Seeds: len(dirty)}
+	t := &Tree{Dim: dim, Leaves: leaves}
+	if c == nil || c.Size() == 1 {
+		cur, created, iters := t.rippleLocal(dirty, retain)
+		st.Iters, st.Created = iters, len(created)
+		return cur.Leaves, st
+	}
+	me := c.Rank()
+	pending := dirty // seeds for the next local fixpoint
+	// fresh = changed since the last exchange (the ship set); copied so the
+	// appends below never scribble on the caller's dirty slice.
+	fresh := append([]sfc.Octant(nil), dirty...)
+	for round := 0; ; round++ {
+		cur, created, iters := t.rippleLocal(pending, retain)
+		t = cur
+		st.Iters += iters
+		st.Created += len(created)
+		fresh = append(fresh, created...)
+
+		spl := GatherSplitters(c, t.Leaves)
+		perRank := make(map[int]map[rippleMsg]bool)
+		add := func(r int, m rippleMsg) {
+			if perRank[r] == nil {
+				perRank[r] = make(map[rippleMsg]bool)
+			}
+			perRank[r][m] = true
+		}
+		var nbuf [26]sfc.Octant
+		for _, o := range fresh {
+			isLeaf := t.hasLeaf(o)
+			for _, n := range o.AllNeighbors(nbuf[:0]) {
+				for _, r := range spl.RangeOwners(n) {
+					if r == me {
+						continue
+					}
+					// Drivers must be current leaves (a refined-away octant's
+					// demands are subsumed by its children's); probes go out
+					// regardless so the victim reply still covers the region.
+					if isLeaf {
+						add(r, rippleMsg{O: o})
+					}
+					if round == 0 {
+						add(r, rippleMsg{O: o, Probe: true})
+					}
+				}
+			}
+		}
+		dests := make([]int, 0, len(perRank))
+		bufs := make([][]rippleMsg, 0, len(perRank))
+		for r, set := range perRank {
+			b := make([]rippleMsg, 0, len(set))
+			for m := range set {
+				b = append(b, m)
+			}
+			dests = append(dests, r)
+			bufs = append(bufs, b)
+		}
+		srcs, recvd := par.NBXExchange(c, dests, bufs)
+		st.Rounds++
+
+		var remote []sfc.Octant
+		for _, b := range recvd {
+			for _, m := range b {
+				if !m.Probe {
+					remote = append(remote, m.O)
+				}
+			}
+		}
+		if round == 0 {
+			// Victim replies: answer each received probe with the local
+			// leaves adjacent to it; the probe's owner imposes them so its
+			// dirty coarse octants see the demands of our unchanged fine
+			// leaves this round.
+			rdests := make([]int, 0, len(srcs))
+			rbufs := make([][]sfc.Octant, 0, len(srcs))
+			for i, src := range srcs {
+				seen := make(map[int]bool)
+				var reply []sfc.Octant
+				for _, m := range recvd[i] {
+					if !m.Probe {
+						continue
+					}
+					for _, n := range m.O.AllNeighbors(nbuf[:0]) {
+						lo, hi := t.OverlapRange(n)
+						for j := lo; j < hi; j++ {
+							if !seen[j] {
+								seen[j] = true
+								reply = append(reply, t.Leaves[j])
+							}
+						}
+					}
+				}
+				if len(reply) > 0 {
+					rdests = append(rdests, src)
+					rbufs = append(rbufs, reply)
+				}
+			}
+			_, replies := par.NBXExchange(c, rdests, rbufs)
+			for _, b := range replies {
+				remote = append(remote, b...)
+			}
+		}
+
+		targets, changed := t.balanceTargetsRemote(remote)
+		anyChanged := par.Allreduce(c, changed, func(a, b bool) bool { return a || b })
+		if !anyChanged {
+			return t.Leaves, st
+		}
+		if changed {
+			next := t.Refine(targets, retain)
+			children := AddedLeaves(t.Leaves, next.Leaves)
+			st.Created += len(children)
+			t = next
+			pending = children
+			fresh = append([]sfc.Octant(nil), children...)
+		} else {
+			pending = nil
+			fresh = nil
+		}
+		if round > sfc.MaxLevel+2 {
+			panic("octree.Balance21Ripple: failed to converge")
+		}
+	}
+}

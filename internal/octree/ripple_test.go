@@ -1,0 +1,139 @@
+package octree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"proteus/internal/par"
+	"proteus/internal/sfc"
+)
+
+// perturb applies a random refine/coarsen delta to a (balanced) tree:
+// roughly pc of the leaves coarsen one level, then roughly pr of the
+// remaining leaves refine one or two levels. Deterministic per rand.
+func perturb(r *rand.Rand, t *Tree, pc, pr float64) *Tree {
+	ct := make([]int, t.Len())
+	for i, o := range t.Leaves {
+		ct[i] = int(o.Level)
+		if o.Level > 0 && r.Float64() < pc {
+			ct[i] = int(o.Level) - 1
+		}
+	}
+	out := t.Coarsen(ct)
+	rt := make([]int, out.Len())
+	for i, o := range out.Leaves {
+		rt[i] = int(o.Level)
+		if r.Float64() < pr {
+			rt[i] = int(o.Level) + 1 + r.Intn(2)
+		}
+	}
+	return out.Refine(rt, nil)
+}
+
+func TestAddedLeaves(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	old := randTree(r, 2, 5, 0.5).Balance21(nil)
+	cur := perturb(r, old, 0.1, 0.1)
+	added := AddedLeaves(old.Leaves, cur.Leaves)
+	// Every added leaf is in cur and absent from old; every cur leaf not
+	// in old is reported.
+	oldT := New(2, append([]sfc.Octant(nil), old.Leaves...))
+	n := 0
+	for _, o := range cur.Leaves {
+		if !oldT.hasLeaf(o) {
+			n++
+		}
+	}
+	if n != len(added) {
+		t.Fatalf("AddedLeaves reported %d, brute force found %d", len(added), n)
+	}
+	for _, o := range added {
+		if oldT.hasLeaf(o) {
+			t.Fatalf("added leaf %v present in old forest", o)
+		}
+	}
+	if got := AddedLeaves(old.Leaves, old.Leaves); len(got) != 0 {
+		t.Fatalf("identical forests: want empty diff, got %d", len(got))
+	}
+}
+
+// TestBalance21RippleMatchesDistributed is the headline invariant at the
+// octree layer: the seeded ripple balance must reproduce the from-scratch
+// distributed balance bitwise — same leaves on the same ranks — for
+// random refine/coarsen deltas at several rank counts.
+func TestBalance21RippleMatchesDistributed(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		for seed := int64(0); seed < 4; seed++ {
+			par.Run(p, func(c *par.Comm) {
+				r := rand.New(rand.NewSource(seed))
+				base := randTree(r, 2, 6, 0.45).Balance21(nil)
+				pert := perturb(r, base, 0.08, 0.08)
+				oldLocal := scatter(base, c.Rank(), p)
+				newLocal := scatter(pert, c.Rank(), p)
+				dirty := AddedLeaves(oldLocal, newLocal)
+
+				want := Balance21Distributed(c, 2, append([]sfc.Octant(nil), newLocal...), nil)
+				got, st := Balance21Ripple(c, 2, append([]sfc.Octant(nil), newLocal...), dirty, nil)
+				if len(got) != len(want) {
+					panic(fmt.Sprintf("p=%d seed=%d rank=%d: ripple %d leaves, from-scratch %d",
+						p, seed, c.Rank(), len(got), len(want)))
+				}
+				for i := range want {
+					if !got[i].EqualKey(want[i]) {
+						panic(fmt.Sprintf("p=%d seed=%d rank=%d: leaf %d differs: %v vs %v",
+							p, seed, c.Rank(), i, got[i], want[i]))
+					}
+				}
+				all := par.Allgatherv(c, got)
+				if c.Rank() == 0 {
+					bt := New(2, all)
+					if err := bt.Validate(); err != nil {
+						panic(err)
+					}
+					if !bt.IsBalanced21() {
+						panic(fmt.Sprintf("p=%d seed=%d: ripple output unbalanced", p, seed))
+					}
+				}
+				_ = st
+			})
+		}
+	}
+}
+
+func TestBalance21RippleMatchesDistributed3D(t *testing.T) {
+	par.Run(2, func(c *par.Comm) {
+		r := rand.New(rand.NewSource(7))
+		base := randTree(r, 3, 4, 0.35).Balance21(nil)
+		pert := perturb(r, base, 0.1, 0.1)
+		oldLocal := scatter(base, c.Rank(), 2)
+		newLocal := scatter(pert, c.Rank(), 2)
+		dirty := AddedLeaves(oldLocal, newLocal)
+		want := Balance21Distributed(c, 3, append([]sfc.Octant(nil), newLocal...), nil)
+		got, _ := Balance21Ripple(c, 3, append([]sfc.Octant(nil), newLocal...), dirty, nil)
+		if len(got) != len(want) {
+			panic(fmt.Sprintf("3d rank=%d: ripple %d leaves, from-scratch %d", c.Rank(), len(got), len(want)))
+		}
+		for i := range want {
+			if !got[i].EqualKey(want[i]) {
+				panic(fmt.Sprintf("3d rank=%d: leaf %d differs", c.Rank(), i))
+			}
+		}
+	})
+}
+
+// A clean forest with an empty dirty set must pass through untouched and
+// do no refinement work.
+func TestBalance21RippleNoDirty(t *testing.T) {
+	par.Run(2, func(c *par.Comm) {
+		base := Uniform(2, 4)
+		local := scatter(base, c.Rank(), 2)
+		got, st := Balance21Ripple(c, 2, append([]sfc.Octant(nil), local...), nil, nil)
+		if len(got) != len(local) {
+			panic("empty dirty set changed the forest")
+		}
+		if st.Created != 0 || st.Iters != 0 {
+			panic(fmt.Sprintf("empty dirty set did work: %+v", st))
+		}
+	})
+}
