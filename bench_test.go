@@ -207,7 +207,7 @@ func BenchmarkTransferSequential(b *testing.B) {
 // reports the per-round remesh wall-clock split into its pipeline stages,
 // plus the incremental-remesh accounting (how many rounds took the ripple
 // balance and the mesh patch versus their from-scratch fallbacks).
-func benchRemeshPipeline(b *testing.B, ranks int, sequential, disableIncr bool) {
+func benchRemeshPipeline(b *testing.B, ranks int, mutate func(*core.Config)) {
 	swirl := func(x, y, z, t float64) (float64, float64, float64) {
 		sx := math.Sin(math.Pi * x)
 		sy := math.Sin(math.Pi * y)
@@ -222,8 +222,9 @@ func benchRemeshPipeline(b *testing.B, ranks int, sequential, disableIncr bool) 
 			Dim: 2, Params: prm, Opt: chns.DefaultOptions(2e-3),
 			BulkLevel: 4, InterfaceLevel: 6,
 			RemeshEvery: 1, PrescribedVel: swirl,
-			SequentialTransfer: sequential,
-			DisableIncremental: disableIncr,
+		}
+		if mutate != nil {
+			mutate(&cfg)
 		}
 		par.Run(ranks, func(c *par.Comm) {
 			sim := core.New(c, cfg, func(x, y, z float64) float64 {
@@ -249,26 +250,53 @@ func benchRemeshPipeline(b *testing.B, ranks int, sequential, disableIncr bool) 
 	b.ReportMetric(ms(rs.Partition), "partition-ms")
 	b.ReportMetric(ms(rs.Build), "build-ms")
 	b.ReportMetric(ms(rs.Transfer), "transfer-ms")
+	b.ReportMetric(ms(rs.Migrate), "migrate-ms")
+	// The acceptance metric of the splitter-shift path: what the
+	// incremental machinery pays per round (balance + build + the exact
+	// view migration, a sub-share of transfer) against the same sum on
+	// the from-scratch ablation.
+	b.ReportMetric(ms(rs.Balance)+ms(rs.Build)+ms(rs.Migrate), "incr-cost-ms")
 	b.ReportMetric(float64(rs.Rounds), "rounds")
 	b.ReportMetric(float64(rs.PartitionOnly), "partition-only-rounds")
 	b.ReportMetric(float64(rs.IncrBalance), "incr-balance-rounds")
 	b.ReportMetric(float64(rs.IncrBuild), "incr-build-rounds")
+	b.ReportMetric(float64(rs.MigrateBuild), "migrate-build-rounds")
+	b.ReportMetric(float64(rs.FullBuild), "full-build-rounds")
+	b.ReportMetric(float64(rs.FullPartitionOnly), "full-partition-rounds")
+	b.ReportMetric(float64(rs.FullDirtyFrac), "full-dirty-rounds")
+	b.ReportMetric(float64(rs.FullSplitterMoved), "full-splitter-rounds")
 	b.ReportMetric(float64(rs.RippleRounds), "ripple-rounds")
 	if rs.TotalOctants > 0 {
 		b.ReportMetric(float64(rs.DirtyOctants)/float64(rs.TotalOctants), "dirty-frac")
 	}
 }
 
-func BenchmarkRemeshPipeline_Batched(b *testing.B)    { benchRemeshPipeline(b, 4, false, false) }
-func BenchmarkRemeshPipeline_Sequential(b *testing.B) { benchRemeshPipeline(b, 4, true, false) }
+func BenchmarkRemeshPipeline_Batched(b *testing.B) { benchRemeshPipeline(b, 4, nil) }
+func BenchmarkRemeshPipeline_Sequential(b *testing.B) {
+	benchRemeshPipeline(b, 4, func(cfg *core.Config) { cfg.SequentialTransfer = true })
+}
 
 // The incremental-remesh ablation (PR 8): identical run with the ripple
 // balance + mesh/plan patching on versus forced from-scratch rebuilds.
 // Serial, so every round is partition-stable and the patch path engages
 // on each one; the balance-ms and build-ms sub-timers are the comparison
 // targets (the solves are bitwise identical either way).
-func BenchmarkRemeshPipeline_Incremental(b *testing.B) { benchRemeshPipeline(b, 1, false, false) }
-func BenchmarkRemeshPipeline_FullRebuild(b *testing.B) { benchRemeshPipeline(b, 1, false, true) }
+func BenchmarkRemeshPipeline_Incremental(b *testing.B) { benchRemeshPipeline(b, 1, nil) }
+func BenchmarkRemeshPipeline_FullRebuild(b *testing.B) {
+	benchRemeshPipeline(b, 1, func(cfg *core.Config) { cfg.DisableIncremental = true })
+}
+
+// The splitter-shift ablation (PR 9): the same drop run at a real rank
+// count, where the stretching interface grows the element count every
+// round and PartitionWeighted chases the moving load — so the SFC
+// splitters shift and the plain patch would decline. Incremental rounds
+// go through migrate-then-patch; the ablation rebuilds everything from
+// scratch. Compare incr-cost-ms (balance + build + migrate per round)
+// and migrate-build-rounds between the two.
+func BenchmarkRemeshPipeline_ShiftedIncremental(b *testing.B) { benchRemeshPipeline(b, 4, nil) }
+func BenchmarkRemeshPipeline_ShiftedFullRebuild(b *testing.B) {
+	benchRemeshPipeline(b, 4, func(cfg *core.Config) { cfg.DisableIncremental = true })
+}
 
 // ---------------------------------------------------------------------------
 // Assembly persistence — cold (first assembly: COO-map sparsity build +

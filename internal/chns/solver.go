@@ -73,6 +73,10 @@ func (t *StageTimes) Add(o StageTimes) {
 // (re)build, and field transfer.
 type RemeshTimes struct {
 	Detect, Refine, Coarsen, Balance, Partition, Build, Transfer time.Duration
+	// Migrate is the exact key-addressed field migration onto the
+	// partition-shifted old-mesh view (a sub-share of Transfer, reported
+	// separately so the migrate-then-patch path's cost is visible).
+	Migrate time.Duration
 	// Rounds counts every executed adaptation round, including rounds
 	// that left the mesh unchanged (those still pay the detect-through-
 	// partition stages); PartitionOnly counts the rounds whose global
@@ -88,6 +92,17 @@ type RemeshTimes struct {
 	IncrBuild, FullBuild       int
 	RippleRounds, RippleIters  int
 	DirtyOctants, TotalOctants int64
+	// MigrateBuild counts rounds built by the migrate-then-patch path
+	// (splitters moved, dirty fraction under the threshold); the Full*
+	// counters split FullBuild by the reason the round fell back to the
+	// from-scratch build, so the fast path's engagement rate is
+	// observable: FullBuild = FullPartitionOnly + FullDisabled +
+	// FullDirtyFrac + FullSplitterMoved.
+	MigrateBuild      int
+	FullPartitionOnly int // pure repartition rounds (exact migration path)
+	FullDisabled      int // DisableIncremental or a negative RemeshFullFrac
+	FullDirtyFrac     int // global dirty fraction above RemeshFullFrac
+	FullSplitterMoved int // splitters moved and migrate-then-patch disabled
 }
 
 // Add accumulates o into t.
@@ -99,6 +114,7 @@ func (t *RemeshTimes) Add(o RemeshTimes) {
 	t.Partition += o.Partition
 	t.Build += o.Build
 	t.Transfer += o.Transfer
+	t.Migrate += o.Migrate
 	t.Rounds += o.Rounds
 	t.PartitionOnly += o.PartitionOnly
 	t.IncrBalance += o.IncrBalance
@@ -109,6 +125,11 @@ func (t *RemeshTimes) Add(o RemeshTimes) {
 	t.RippleIters += o.RippleIters
 	t.DirtyOctants += o.DirtyOctants
 	t.TotalOctants += o.TotalOctants
+	t.MigrateBuild += o.MigrateBuild
+	t.FullPartitionOnly += o.FullPartitionOnly
+	t.FullDisabled += o.FullDisabled
+	t.FullDirtyFrac += o.FullDirtyFrac
+	t.FullSplitterMoved += o.FullSplitterMoved
 }
 
 // Options configures the solver implementation choices being benchmarked.

@@ -59,13 +59,26 @@ type Config struct {
 	// knob, not a correctness one.
 	DisableIncremental bool
 
+	// DisableMigratePatch forces the from-scratch build whenever the
+	// partition splitters moved, instead of migrating the old mesh to
+	// the new owners and patching against the migrated view. The
+	// migrate-then-patch path is bitwise identical to the from-scratch
+	// build, so this is an ablation and equivalence-testing knob, not a
+	// correctness one.
+	DisableMigratePatch bool
+
 	// RemeshFullFrac is the global dirty-octant fraction above which a
 	// remesh round abandons the incremental path (ripple balance, mesh
-	// patch, plan repair) and rebuilds from scratch: incremental work is
-	// proportional to the changed region and stops paying once most of
-	// the forest changed. Default 0.25; a negative value always falls
-	// back (equivalent to DisableIncremental for the gated stages), a
-	// value >= 1 never does.
+	// patch or migrate-then-patch, plan repair) and rebuilds from
+	// scratch: incremental work is proportional to the changed region
+	// and stops paying once most of the forest changed. The fraction is
+	// measured once per round, before balancing and repartitioning
+	// (dirty pre-balance octants over the coarsened total), and that one
+	// collective decision gates both the ripple balance and the
+	// incremental build — the post-partition measure would double-count
+	// unchanged survivors that merely moved ranks. Default 0.25; a
+	// negative value always falls back (equivalent to DisableIncremental
+	// for the gated stages), a value >= 1 never does.
 	RemeshFullFrac float64
 
 	// PrescribedVel, when non-nil, runs only the CH block with this
@@ -271,7 +284,10 @@ func (s *Simulation) Run(n int) error {
 // every field to the new mesh: exactly (bitwise key-addressed migration,
 // no interpolation) when the round turns out to be a pure SFC
 // repartition, and through one batched point-location transfer — a single
-// NBX query/reply round carrying all nodal fields — otherwise. The solver
+// NBX query/reply round carrying all nodal fields — otherwise. When the
+// partition splitters moved on a sub-threshold round, the batched
+// transfer runs from a migrated view of the old mesh (fields moved onto
+// it exactly first), so the queries resolve locally. The solver
 // is rebound to the new mesh in place, keeping its worker pool, Krylov
 // workspaces and Newton driver; the epoch bump still invalidates every
 // cached sparsity and assembly plan. Wall-clock is split into the
@@ -372,14 +388,19 @@ func (s *Simulation) Adapt() {
 	tBalance := time.Now()
 	var balanced []sfc.Octant
 	balledIncr := false
+	subThreshold := false
 	if !cfg.DisableIncremental {
 		dirtyPre := octree.AddedLeaves(m.Elems, coarse)
 		cnt := par.AllreduceSlice(s.Comm, []int64{int64(len(dirtyPre)), int64(len(coarse))},
 			func(a, b int64) int64 { return a + b })
 		rt.DirtyOctants += cnt[0]
 		rt.TotalOctants += cnt[1]
-		// Collective gate: every rank sees the same global counts.
-		if cnt[1] > 0 && float64(cnt[0]) <= cfg.RemeshFullFrac*float64(cnt[1]) {
+		// Collective gate: every rank sees the same global counts. The
+		// decision is shared with the build stage below — the dirty
+		// fraction is a property of the adaptation, measured before the
+		// partitioner moves unchanged survivors between ranks.
+		subThreshold = cnt[1] > 0 && float64(cnt[0]) <= cfg.RemeshFullFrac*float64(cnt[1])
+		if subThreshold {
 			var st octree.RippleStats
 			balanced, st = octree.Balance21Ripple(s.Comm, cfg.Dim, coarse, dirtyPre, nil)
 			balledIncr = true
@@ -412,27 +433,46 @@ func (s *Simulation) Adapt() {
 	// re-created through interpolation.
 	partitionOnly := forestUnchanged(s.Comm, m.Elems, balanced)
 
-	// --- Build the new distributed mesh: patched from the old one when
-	// the partition held still and the dirty fraction is under the
-	// threshold, from scratch otherwise. Patch detects a moved partition
-	// itself (collectively) and declines, so the gate here is only the
-	// fraction economics. The patched mesh is bitwise identical to the
-	// from-scratch build.
+	// --- Build the new distributed mesh: patched in place when the
+	// partition held still, migrate-then-patched when the splitters
+	// moved (the old mesh is first redistributed exactly to the new
+	// owners, then patched against that view), from scratch only when
+	// the round's dirty fraction exceeds the threshold or the
+	// incremental machinery is disabled. All three produce bitwise
+	// identical meshes. Patch detects a moved partition itself
+	// (collectively) and declines, which routes the round to
+	// PatchMigrated.
 	tBuild := time.Now()
-	var newM *mesh.Mesh
+	var newM, view *mesh.Mesh
 	var delta *mesh.Delta
-	if !cfg.DisableIncremental && !partitionOnly {
+	migrated := false
+	if !cfg.DisableIncremental && !partitionOnly && subThreshold {
 		dirtyPost := octree.AddedLeaves(m.Elems, balanced)
-		cnt := par.AllreduceSlice(s.Comm, []int64{int64(len(dirtyPost)), int64(len(balanced))},
-			func(a, b int64) int64 { return a + b })
-		if cnt[1] > 0 && float64(cnt[0]) <= cfg.RemeshFullFrac*float64(cnt[1]) {
-			newM, delta = mesh.Patch(s.Comm, cfg.Dim, balanced, m, dirtyPost)
+		newM, delta = mesh.Patch(s.Comm, cfg.Dim, balanced, m, dirtyPost)
+		if newM == nil && !cfg.DisableMigratePatch {
+			newM, view, delta = mesh.PatchMigrated(m, balanced)
+			migrated = true
 		}
 	}
-	if newM == nil {
+	switch {
+	case newM == nil:
 		newM = mesh.New(s.Comm, cfg.Dim, balanced)
 		rt.FullBuild++
-	} else {
+		// Record why the fast path did not engage; the reasons sum to
+		// FullBuild.
+		switch {
+		case partitionOnly:
+			rt.FullPartitionOnly++
+		case cfg.DisableIncremental || cfg.RemeshFullFrac < 0:
+			rt.FullDisabled++
+		case !subThreshold:
+			rt.FullDirtyFrac++
+		default:
+			rt.FullSplitterMoved++
+		}
+	case migrated:
+		rt.MigrateBuild++
+	default:
 		rt.IncrBuild++
 	}
 	rt.Build += time.Since(tBuild)
@@ -472,6 +512,32 @@ func (s *Simulation) Adapt() {
 		copy(sol.PhiMu, newPhiMu)
 		copy(sol.Vel, newVel)
 		copy(sol.P, newP)
+		newCnMark = transfer.CellCentered(s.Comm, cfg.Dim, refined, refinedCn, newM.Elems)
+	case migrated:
+		// The splitters moved: first move every nodal field bitwise onto
+		// the migrated old-mesh view (exact, key-addressed — the same
+		// values the old mesh holds, re-owned by the new partition), then
+		// run the one batched inter-grid transfer from the view. Because
+		// the view is already aligned with the new partition, almost all
+		// point-location queries resolve locally instead of crossing
+		// ranks. Bitwise identical to transferring straight from the old
+		// mesh.
+		rebind()
+		tMigrate := time.Now()
+		viewPhiMu := view.NewVec(2)
+		viewVel := view.NewVec(cfg.Dim)
+		viewP := view.NewVec(1)
+		transfer.MigrateNodal(m, view, []transfer.Field{
+			{Src: oldPhiMu, Dst: viewPhiMu, Ndof: 2},
+			{Src: oldVel, Dst: viewVel, Ndof: cfg.Dim},
+			{Src: oldP, Dst: viewP, Ndof: 1},
+		})
+		rt.Migrate += time.Since(tMigrate)
+		transfer.Batch(view, newM, []transfer.Field{
+			{Src: viewPhiMu, Dst: sol.PhiMu, Ndof: 2},
+			{Src: viewVel, Dst: sol.Vel, Ndof: cfg.Dim},
+			{Src: viewP, Dst: sol.P, Ndof: 1},
+		}, &s.tws)
 		newCnMark = transfer.CellCentered(s.Comm, cfg.Dim, refined, refinedCn, newM.Elems)
 	default:
 		rebind()

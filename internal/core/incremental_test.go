@@ -84,14 +84,20 @@ func TestIncrementalRemeshBitwiseEquivalence(t *testing.T) {
 				panic(fmt.Sprintf("p=%d: dirty-fraction telemetry not recorded: %+v", p, st))
 			}
 			fst := full.T.RemeshStages
-			if fst.IncrBalance != 0 || fst.IncrBuild != 0 {
+			if fst.IncrBalance != 0 || fst.IncrBuild != 0 || fst.MigrateBuild != 0 {
 				panic(fmt.Sprintf("p=%d: DisableIncremental still took the incremental path: %+v", p, fst))
 			}
-			if p == 1 && st.IncrBuild == 0 {
+			if fst.FullBuild != fst.FullDisabled+fst.FullPartitionOnly {
+				panic(fmt.Sprintf("p=%d: disabled run misattributed its full builds: %+v", p, fst))
+			}
+			if st.IncrBuild+st.MigrateBuild == 0 {
 				// Serial splitters are trivially stable, so the mesh patch
-				// must engage; at p > 1 the SFC partition may legitimately
-				// shift every round and force the from-scratch build.
-				panic(fmt.Sprintf("p=1: mesh patch never engaged: %+v", st))
+				// must engage; at p > 1 a shifted SFC partition goes through
+				// migrate-then-patch instead of a from-scratch build.
+				panic(fmt.Sprintf("p=%d: incremental build never engaged: %+v", p, st))
+			}
+			if got := st.FullPartitionOnly + st.FullDisabled + st.FullDirtyFrac + st.FullSplitterMoved; got != st.FullBuild {
+				panic(fmt.Sprintf("p=%d: full-build reasons sum to %d, want %d: %+v", p, got, st.FullBuild, st))
 			}
 		})
 	}
@@ -107,11 +113,14 @@ func TestIncrementalRemeshFallbackThreshold(t *testing.T) {
 		full := runSwirl(c, func(cfg *Config) { cfg.DisableIncremental = true }, 3)
 		mustIdenticalRuns(c, forced, full)
 		st := forced.T.RemeshStages
-		if st.IncrBalance != 0 || st.IncrBuild != 0 {
+		if st.IncrBalance != 0 || st.IncrBuild != 0 || st.MigrateBuild != 0 {
 			panic(fmt.Sprintf("threshold crossing did not force the full path: %+v", st))
 		}
 		if st.FullBalance == 0 || st.FullBuild == 0 {
 			panic(fmt.Sprintf("fallback counters not recorded: %+v", st))
+		}
+		if st.FullDisabled+st.FullPartitionOnly != st.FullBuild {
+			panic(fmt.Sprintf("negative threshold not attributed as disabled: %+v", st))
 		}
 	})
 }

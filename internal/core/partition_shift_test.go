@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"proteus/internal/par"
+)
+
+// TestMigratePatchBitwiseEquivalence pins the tentpole invariant end to
+// end: with the dirty-fraction gate wide open, a remesh-every-step run
+// whose SFC partition drifts (the load follows the swirling drop, so
+// PartitionWeighted moves the splitters at p > 1) must be bitwise
+// identical whether shifted rounds go through migrate-then-patch or
+// through the from-scratch rebuild ablation — and the fast path must
+// actually have engaged on the rounds the ablation rebuilt.
+func TestMigratePatchBitwiseEquivalence(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		par.Run(p, func(c *par.Comm) {
+			open := func(cfg *Config) { cfg.RemeshFullFrac = 1.0 }
+			mig := runSwirl(c, open, 4)
+			abl := runSwirl(c, func(cfg *Config) {
+				open(cfg)
+				cfg.DisableMigratePatch = true
+			}, 4)
+			mustIdenticalRuns(c, mig, abl)
+
+			st := mig.T.RemeshStages
+			ast := abl.T.RemeshStages
+			if ast.MigrateBuild != 0 {
+				panic(fmt.Sprintf("p=%d: DisableMigratePatch still migrated: %+v", p, ast))
+			}
+			if p > 1 {
+				// The drop run provably shifts splitters: the ablation must
+				// have recorded splitter-moved full builds, and the enabled
+				// run must have converted exactly those rounds to migrates.
+				if ast.FullSplitterMoved == 0 {
+					panic(fmt.Sprintf("p=%d: no splitter movement in the ablation run: %+v", p, ast))
+				}
+				if st.MigrateBuild != ast.FullSplitterMoved {
+					panic(fmt.Sprintf("p=%d: migrated %d rounds, ablation rebuilt %d shifted rounds",
+						p, st.MigrateBuild, ast.FullSplitterMoved))
+				}
+				if st.FullSplitterMoved != 0 {
+					panic(fmt.Sprintf("p=%d: splitter-moved full builds despite migrate-then-patch: %+v", p, st))
+				}
+				if st.Migrate <= 0 {
+					panic(fmt.Sprintf("p=%d: migrate timer not recorded: %+v", p, st))
+				}
+			} else if st.MigrateBuild != 0 {
+				panic(fmt.Sprintf("p=1: single-rank splitters cannot move, yet MigrateBuild=%d", st.MigrateBuild))
+			}
+		})
+	}
+}
+
+// TestPartitionShiftRemeshSmoke is the CI engagement guard at real rank
+// counts: below the dirty-fraction threshold no round may fall back to a
+// from-scratch build for partition reasons — every structural round is a
+// patch or a migrate-then-patch, and migrations genuinely occur.
+func TestPartitionShiftRemeshSmoke(t *testing.T) {
+	for _, p := range []int{2, 4} {
+		par.Run(p, func(c *par.Comm) {
+			sim := runSwirl(c, func(cfg *Config) { cfg.RemeshFullFrac = 1.0 }, 4)
+			st := sim.T.RemeshStages
+			if st.MigrateBuild == 0 {
+				panic(fmt.Sprintf("p=%d: migrate-then-patch never engaged: %+v", p, st))
+			}
+			// Zero full rebuilds below the threshold: the only permitted
+			// full builds are pure-repartition rounds (which migrate fields
+			// exactly and never enter the patch machinery).
+			if st.FullBuild != st.FullPartitionOnly {
+				panic(fmt.Sprintf("p=%d: %d full rebuilds beyond the %d pure-repartition rounds: %+v",
+					p, st.FullBuild, st.FullPartitionOnly, st))
+			}
+			if st.FullDirtyFrac != 0 || st.FullSplitterMoved != 0 || st.FullDisabled != 0 {
+				panic(fmt.Sprintf("p=%d: sub-threshold round fell back: %+v", p, st))
+			}
+		})
+	}
+}

@@ -264,14 +264,20 @@ type RunStats struct {
 	// the mesh patch versus their from-scratch fallbacks, the total
 	// ripple refine rounds, and the mean global dirty fraction the
 	// incremental/full decision saw.
-	IncrBalanceRounds int         `json:"incr_balance_rounds"`
-	FullBalanceRounds int         `json:"full_balance_rounds"`
-	IncrBuildRounds   int         `json:"incr_build_rounds"`
-	FullBuildRounds   int         `json:"full_build_rounds"`
-	RippleRounds      int         `json:"ripple_rounds"`
-	DirtyFraction     float64     `json:"dirty_fraction"`
-	LevelHistogram    []float64   `json:"level_histogram"`
-	Timers            chns.Timers `json:"timers"`
+	IncrBalanceRounds  int `json:"incr_balance_rounds"`
+	FullBalanceRounds  int `json:"full_balance_rounds"`
+	IncrBuildRounds    int `json:"incr_build_rounds"`
+	MigrateBuildRounds int `json:"migrate_build_rounds"`
+	FullBuildRounds    int `json:"full_build_rounds"`
+	// Why each full build ran; the four reasons sum to FullBuildRounds.
+	FullPartitionRounds int         `json:"full_partition_rounds"`
+	FullDisabledRounds  int         `json:"full_disabled_rounds"`
+	FullDirtyRounds     int         `json:"full_dirty_rounds"`
+	FullSplitterRounds  int         `json:"full_splitter_rounds"`
+	RippleRounds        int         `json:"ripple_rounds"`
+	DirtyFraction       float64     `json:"dirty_fraction"`
+	LevelHistogram      []float64   `json:"level_histogram"`
+	Timers              chns.Timers `json:"timers"`
 	// KrylovIters summarizes the per-stage linear-solver iteration counts
 	// (keys "ch", "ns", "pp", "vu"), making preconditioner comparisons —
 	// the GMG-vs-ILU0 iteration claim in particular — machine-checkable
@@ -326,7 +332,12 @@ func (s *Simulation) Stats() RunStats {
 		IncrBalanceRounds:   t.RemeshStages.IncrBalance,
 		FullBalanceRounds:   t.RemeshStages.FullBalance,
 		IncrBuildRounds:     t.RemeshStages.IncrBuild,
+		MigrateBuildRounds:  t.RemeshStages.MigrateBuild,
 		FullBuildRounds:     t.RemeshStages.FullBuild,
+		FullPartitionRounds: t.RemeshStages.FullPartitionOnly,
+		FullDisabledRounds:  t.RemeshStages.FullDisabled,
+		FullDirtyRounds:     t.RemeshStages.FullDirtyFrac,
+		FullSplitterRounds:  t.RemeshStages.FullSplitterMoved,
 		RippleRounds:        t.RemeshStages.RippleRounds,
 		DirtyFraction:       dirtyFrac,
 		LevelHistogram:      s.LevelHistogram(),

@@ -208,8 +208,9 @@ func (a *Assembler) dirtyRowPairs(d *mesh.Delta) []int64 {
 }
 
 // patchNodeSparsity assembles the node-block pattern of the patched mesh:
-// clean owned rows keep the old row remapped through the delta (the remap
-// is monotone over survivors, so the columns stay sorted); dirty rows
+// clean owned rows keep the old row remapped through the delta (the delta
+// guarantees a clean row's columns keep their relative order under the
+// remap, so they stay sorted); dirty rows
 // take their sorted, deduplicated pair runs. The result is exactly the
 // pattern a cold assembly would freeze — clean rows receive no remote
 // contributions (they are never exchange targets, or they would be dirty)

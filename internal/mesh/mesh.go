@@ -81,6 +81,12 @@ type Mesh struct {
 	// index maps node keys to local indices.
 	index map[NodeKey]int32
 
+	// ownSpl is the splitter table node ownership was decided from when
+	// the mesh was built (for a migrated old-mesh view this is the NEW
+	// partition's table, not the one its element list would gather).
+	ownSpl    octree.Splitters
+	hasOwnSpl bool
+
 	// gwRecv parks received ghost-write batches until all peers have
 	// arrived, so GhostWriteEnd can combine them in rank order (reused
 	// across exchanges).
@@ -97,6 +103,16 @@ type Mesh struct {
 
 	// HangingCorners counts constrained element corners (diagnostics).
 	HangingCorners int
+}
+
+// OwnershipTable returns the splitter table node ownership was decided
+// from at build time. Every mesh the package builds records one; the
+// boolean guards hand-constructed meshes. Keyed migration routes by this
+// table rather than re-gathering one from the element list: for a
+// migrated old-mesh view the two differ (elements keep their old-forest
+// extents, ownership already follows the new partition).
+func (m *Mesh) OwnershipTable() (octree.Splitters, bool) {
+	return m.ownSpl, m.hasOwnSpl
 }
 
 // NodeIndex returns the local index of the node with the given key, if it
@@ -183,10 +199,16 @@ func New(c *par.Comm, dim int, local []sfc.Octant) *Mesh {
 	return m
 }
 
-// builder holds construction scratch state.
+// builder holds construction scratch state. spl is the element-derived
+// table used for geometric routing (which ranks hold the leaves covering
+// a region); own is the table node ownership is decided from. The two
+// coincide for every normal build — they split only for the migrated
+// old-mesh view, whose elements still span the old forest's extents while
+// its nodes must already belong to the new partition's owners.
 type builder struct {
 	m        *Mesh
 	spl      octree.Splitters
+	own      octree.Splitters
 	combined *octree.Tree // local + ghost elements, sorted
 	combRank []int32      // owner rank per combined element
 	nodeIdx  map[NodeKey]int32
@@ -203,6 +225,8 @@ func (b *builder) exchangeGhostElements() {
 	m := b.m
 	c := m.Comm
 	b.spl = octree.GatherSplitters(c, m.Elems)
+	b.own = b.spl
+	m.ownSpl, m.hasOwnSpl = b.own, true
 	perRank := make(map[int]map[sfc.Octant]bool)
 	var nbuf [26]sfc.Octant
 	for _, o := range m.Elems {
@@ -318,8 +342,8 @@ func isCornerOf(p NodeKey, o sfc.Octant) bool {
 
 // canonicalOwner returns the rank owning grid point p: the owner of the
 // cell containing p after clamping boundary coordinates inward. The rule
-// uses only the splitter table, so every rank computes identical owners
-// without communication.
+// uses only the ownership splitter table, so every rank computes
+// identical owners without communication.
 func (b *builder) canonicalOwner(p NodeKey) int {
 	x, y, z := p.X, p.Y, p.Z
 	if x >= sfc.MaxCoord {
@@ -332,7 +356,7 @@ func (b *builder) canonicalOwner(p NodeKey) int {
 		z = sfc.MaxCoord - 1
 	}
 	q := sfc.Octant{X: x, Y: y, Z: z, Level: sfc.MaxLevel, Dim: uint8(b.m.Dim)}
-	return b.spl.Owner(q)
+	return b.own.Owner(q)
 }
 
 // classify determines whether p (a corner of a local element) is hanging
@@ -440,6 +464,18 @@ func (b *builder) classifyAndNumber() {
 		}
 		elemKeys[e] = eset
 	}
+	b.numberFromConn(keys, conn, elemKeys)
+}
+
+// numberFromConn finishes node enumeration from an interned key list and
+// a provisional constraint table (classifyAndNumber's second half, also
+// entered directly by the migrated-view build, which receives constraints
+// ready-made instead of classifying): ship column key sets to remote row
+// owners, then renumber owned-first. The final numbering is a pure
+// function of the key set, the ownership table and the rank — the
+// interning order keys arrived in does not matter.
+func (b *builder) numberFromConn(keys []NodeKey, conn []Constraint, elemKeys [][]NodeKey) {
+	m := b.m
 	// Ship column key sets to remote row owners.
 	if m.Comm.Size() > 1 {
 		perRank := map[int]map[NodeKey]bool{}

@@ -21,7 +21,11 @@ import (
 // slots for elements whose connectivity survived.
 type Delta struct {
 	// NodeRemap maps old local node indices to new ones, -1 if dropped.
-	// Monotone over survivors: old order is preserved within the new one.
+	// Partition-stable patches keep it monotone over survivors; a
+	// migrated patch only guarantees order preservation per clean row
+	// (any node whose owner moved is dirty together with every node it
+	// shares an element with), which is what the plan repair needs: a
+	// clean row's remapped column pattern stays sorted.
 	NodeRemap []int32
 	// OldElem maps each new element index to its old element index when
 	// both the octant and its connectivity survived untouched, else -1.
@@ -40,7 +44,7 @@ type Delta struct {
 // leaves (the local leaves absent from old.Elems, see octree.AddedLeaves).
 // Collective. Returns (nil, nil) — consistently on every rank — when the
 // partition splitters moved, in which case node ownership is not stable
-// and the caller must fall back to New.
+// and the caller must fall back to New or to PatchMigrated.
 func Patch(c *par.Comm, dim int, local []sfc.Octant, old *Mesh, dirty []sfc.Octant) (*Mesh, *Delta) {
 	newSpl := octree.GatherSplitters(c, local)
 	oldSpl := octree.GatherSplitters(c, old.Elems)
@@ -49,7 +53,17 @@ func Patch(c *par.Comm, dim int, local []sfc.Octant, old *Mesh, dirty []sfc.Octa
 		// together; no further collectives have run yet.
 		return nil, nil
 	}
+	return patchWith(c, dim, local, old, dirty, newSpl)
+}
 
+// patchWith is Patch's body, parameterized on the splitter table spl of
+// the new forest (always the table local itself gathers). It requires
+// old's node ownership to already agree with spl: either the splitters
+// never moved (Patch's gate) or old is a migrated view whose ownership
+// was decided from the new partition (PatchMigrated). The returned mesh
+// and delta are relative to old.
+func patchWith(c *par.Comm, dim int, local []sfc.Octant, old *Mesh, dirty []sfc.Octant, spl octree.Splitters) (*Mesh, *Delta) {
+	newSpl := spl
 	m := &Mesh{Comm: c, Dim: dim, Elems: local}
 	m.ElemLevel = make([]uint8, len(local))
 	for i, o := range local {
@@ -57,6 +71,8 @@ func Patch(c *par.Comm, dim int, local []sfc.Octant, old *Mesh, dirty []sfc.Octa
 	}
 	b := newBuilder(m)
 	b.spl = newSpl
+	b.own = newSpl
+	m.ownSpl, m.hasOwnSpl = newSpl, true
 	cpe := m.CornersPerElem()
 	me := c.Rank()
 	me32 := int32(me)

@@ -73,6 +73,39 @@ func (s Splitters) Owner(q sfc.Octant) int {
 	return owner
 }
 
+// OwnerRuns invokes fn once per maximal run [lo, hi) of consecutive leaves
+// sharing one owner under the table, in order. leaves must be sorted;
+// ownership is monotone along the SFC, so the scan never revisits earlier
+// ranks. This is the bulk routing primitive of the splitter-shift
+// migration: whole surviving ranges move with one ownership decision
+// instead of one Owner call per leaf.
+func (s Splitters) OwnerRuns(leaves []sfc.Octant, fn func(lo, hi, owner int)) {
+	if len(leaves) == 0 {
+		return
+	}
+	lo := 0
+	own := s.Owner(leaves[0].FirstDescendant())
+	for i := 1; i < len(leaves); i++ {
+		q := leaves[i].FirstDescendant()
+		o := own
+		for r := own + 1; r < s.size; r++ {
+			if !s.has[r] {
+				continue
+			}
+			if sfc.Compare(s.firsts[r], q) <= 0 || s.firsts[r].IsAncestorOf(q) {
+				o = r
+			} else {
+				break
+			}
+		}
+		if o != own {
+			fn(lo, i, own)
+			lo, own = i, o
+		}
+	}
+	fn(lo, len(leaves), own)
+}
+
 // RangeOwners returns every rank whose leaf range may intersect the region
 // covered by octant q (the Morton interval [q, q.LastDescendant]).
 func (s Splitters) RangeOwners(q sfc.Octant) []int {

@@ -1,0 +1,154 @@
+package octree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"proteus/internal/par"
+	"proteus/internal/sfc"
+)
+
+// A single rank always has one trivially stable splitter table: Equal must
+// hold against a re-gather, and against the table of a different forest on
+// the same single rank (the table records only the first leaf).
+func TestSplittersEqualSingleRank(t *testing.T) {
+	par.Run(1, func(c *par.Comm) {
+		tr := Uniform(2, 3)
+		a := GatherSplitters(c, tr.Leaves)
+		b := GatherSplitters(c, tr.Leaves)
+		if !a.Equal(b) {
+			panic("single-rank splitters not equal to re-gather")
+		}
+		// Refine away from the front: first leaf unchanged, table equal.
+		ct := make([]int, tr.Len())
+		for i, o := range tr.Leaves {
+			ct[i] = int(o.Level)
+		}
+		ct[tr.Len()-1]++
+		fine := tr.Refine(ct, nil)
+		if !a.Equal(GatherSplitters(c, fine.Leaves)) {
+			panic("single-rank splitters changed without the first leaf moving")
+		}
+		// Empty single rank vs non-empty must differ.
+		if a.Equal(GatherSplitters(c, nil)) {
+			panic("non-empty table equal to empty table")
+		}
+	})
+}
+
+// Empty ranks are part of the partition identity: a table with a hole must
+// not equal one without, while two tables sharing the hole and the firsts
+// are equal even if built from different gathers.
+func TestSplittersEqualEmptyRanks(t *testing.T) {
+	par.Run(3, func(c *par.Comm) {
+		tr := Uniform(2, 3) // 64 leaves
+		half := tr.Len() / 2
+		holey := func() []sfc.Octant {
+			switch c.Rank() {
+			case 0:
+				return append([]sfc.Octant(nil), tr.Leaves[:half]...)
+			case 2:
+				return append([]sfc.Octant(nil), tr.Leaves[half:]...)
+			}
+			return nil
+		}
+		a := GatherSplitters(c, holey())
+		b := GatherSplitters(c, holey())
+		if !a.Equal(b) {
+			panic("identical holey partitions not equal")
+		}
+		full := GatherSplitters(c, scatter(tr, c.Rank(), 3))
+		if a.Equal(full) || full.Equal(a) {
+			panic("holey partition equal to full partition")
+		}
+		// Ownership must skip the empty rank entirely.
+		for i, o := range tr.Leaves {
+			got := a.Owner(o.FirstDescendant())
+			want := 0
+			if i >= half {
+				want = 2
+			}
+			if got != want {
+				panic(fmt.Sprintf("leaf %d owned by %d want %d", i, got, want))
+			}
+		}
+	})
+}
+
+// Equal compares the partition, not the forest: two different leaf sets
+// whose per-rank first leaves coincide produce equal tables. (The callers
+// that need forest identity check it separately.)
+func TestSplittersEqualDifferentForests(t *testing.T) {
+	par.Run(2, func(c *par.Comm) {
+		tr := Uniform(2, 2) // 16 leaves
+		half := tr.Len() / 2
+		coarse := append([]sfc.Octant(nil), tr.Leaves[c.Rank()*half:(c.Rank()+1)*half]...)
+		// Refine a non-first leaf on each rank: firsts survive untouched.
+		ct := make([]int, len(coarse))
+		for i, o := range coarse {
+			ct[i] = int(o.Level)
+		}
+		ct[3]++
+		fine := (&Tree{Dim: 2, Leaves: coarse}).Refine(ct, nil)
+		a := GatherSplitters(c, coarse)
+		b := GatherSplitters(c, fine.Leaves)
+		if len(fine.Leaves) == len(coarse) {
+			panic("refinement did not change the leaf set")
+		}
+		if !a.Equal(b) {
+			panic("tables with identical firsts not equal despite different forests")
+		}
+	})
+}
+
+// OwnerRuns must agree with per-leaf Owner calls and emit maximal,
+// contiguous, ordered runs — including under partitions with empty ranks.
+func TestOwnerRunsMatchesOwner(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		for seed := int64(0); seed < 4; seed++ {
+			par.Run(p, func(c *par.Comm) {
+				r := rand.New(rand.NewSource(seed*31 + int64(p)))
+				tr := randTree(r, 2, 5, 0.5)
+				// A deliberately uneven partition (rank r gets a random-ish
+				// slice; some ranks may be empty).
+				cuts := make([]int, p+1)
+				cuts[p] = tr.Len()
+				for k := 1; k < p; k++ {
+					cuts[k] = k * tr.Len() / p
+					if k%2 == 1 && cuts[k]+3 <= tr.Len() {
+						cuts[k] += 3
+					}
+				}
+				local := append([]sfc.Octant(nil), tr.Leaves[cuts[c.Rank()]:cuts[c.Rank()+1]]...)
+				spl := GatherSplitters(c, local)
+				// Run the scan over the whole forest on every rank.
+				covered := 0
+				prevOwner := -1
+				spl.OwnerRuns(tr.Leaves, func(lo, hi, owner int) {
+					if lo != covered || hi <= lo {
+						panic(fmt.Sprintf("p=%d seed=%d: run [%d,%d) not contiguous at %d", p, seed, lo, hi, covered))
+					}
+					if owner == prevOwner {
+						panic("adjacent runs share an owner — run not maximal")
+					}
+					if owner < prevOwner {
+						panic("run owners not monotone")
+					}
+					prevOwner = owner
+					for i := lo; i < hi; i++ {
+						if want := spl.Owner(tr.Leaves[i].FirstDescendant()); want != owner {
+							panic(fmt.Sprintf("p=%d seed=%d: leaf %d run owner %d want %d", p, seed, i, owner, want))
+						}
+					}
+					covered = hi
+				})
+				if covered != tr.Len() {
+					panic("runs did not cover the forest")
+				}
+				// Empty input: no calls.
+				spl.OwnerRuns(nil, func(lo, hi, owner int) { panic("run emitted for empty input") })
+			})
+		}
+	}
+}

@@ -29,8 +29,10 @@ type nodePacket struct {
 // MigrateNodal moves nodal fields from oldM to newM when both meshes are
 // built over the same global forest and only ownership moved: each rank
 // pushes every owned node's packed values to the node's new canonical
-// owner (computed from the new splitter table with the same clamping rule
-// the mesh builder uses) in one NBX round. No point location, no
+// owner (computed from newM's recorded ownership table with the same
+// clamping rule the mesh builder uses — for a migrated old-mesh view
+// that table is the new partition's, which an element-derived gather
+// would not reproduce) in one NBX round. No point location, no
 // interpolation — destination values are bitwise copies. Panics if the
 // meshes turn out not to share a forest (an owned destination node left
 // unfilled, or a pushed key unknown to its target), so a mistaken
@@ -48,7 +50,10 @@ func MigrateNodal(oldM, newM *mesh.Mesh, fields []Field) {
 	if tot > maxMigrateDofs {
 		panic(fmt.Sprintf("transfer: MigrateNodal moves %d dofs per node, max %d", tot, maxMigrateDofs))
 	}
-	spl := octree.GatherSplitters(c, newM.Elems)
+	spl, ok := newM.OwnershipTable()
+	if !ok {
+		spl = octree.GatherSplitters(c, newM.Elems)
+	}
 	me := c.Rank()
 	filled := 0
 	perRank := map[int][]nodePacket{}
@@ -133,7 +138,10 @@ func MigrateKeyedNodal(newM *mesh.Mesh, keys []mesh.NodeKey, packed []float64, f
 	if len(packed) != len(keys)*tot {
 		panic(fmt.Sprintf("transfer: MigrateKeyedNodal packed length %d != %d keys * %d dofs", len(packed), len(keys), tot))
 	}
-	spl := octree.GatherSplitters(c, newM.Elems)
+	spl, ok := newM.OwnershipTable()
+	if !ok {
+		spl = octree.GatherSplitters(c, newM.Elems)
+	}
 	me := c.Rank()
 	// Per-node fill tracking (not a count): a duplicate record must not
 	// mask a missing one, or an owned node would silently stay zero.
