@@ -299,6 +299,53 @@ func BenchmarkRemeshPipeline_ShiftedFullRebuild(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// Post-remesh solves (PR 10) — remesh-aware MG refresh, preconditioner
+// carry-over, and warm starts. Warm and cold differ only in the Krylov
+// initial guess of the PP and VU solves on the first step after each
+// remesh (the convergence target is relative to the RHS either way); the
+// reported post-remesh per-stage iteration means are the acceptance
+// metric, alongside the carry-over counters both runs share.
+// ---------------------------------------------------------------------------
+
+func benchPostRemeshSolve(b *testing.B, warm bool) {
+	var st core.RunStats
+	for i := 0; i < b.N; i++ {
+		prm := chns.DefaultParams()
+		prm.Cn = 0.08
+		prm.Fr = 0.5
+		opt := chns.DefaultOptions(1e-3)
+		opt.WarmStarts = warm
+		cfg := core.Config{
+			Dim: 2, Params: prm, Opt: opt,
+			BulkLevel: 3, InterfaceLevel: 5,
+			RemeshEvery: 1,
+		}
+		par.Run(2, func(c *par.Comm) {
+			sim := core.New(c, cfg, func(x, y, z float64) float64 {
+				return chns.EquilibriumProfile(math.Hypot(x-0.5, y-0.4)-0.18, prm.Cn)
+			})
+			if err := sim.Run(10); err != nil {
+				panic(err)
+			}
+			rs := sim.Stats() // collective
+			if c.Rank() == 0 {
+				st = rs
+			}
+		})
+	}
+	for _, stage := range []string{"ch", "ns", "pp", "vu"} {
+		b.ReportMetric(st.PostRemeshIters[stage], "post-"+stage+"-its")
+	}
+	b.ReportMetric(float64(st.PostRemeshSteps), "post-steps")
+	b.ReportMetric(float64(st.MGLevelsReused+st.MGLevelsPatched), "mg-levels-carried")
+	b.ReportMetric(float64(st.PCRowsKept), "pc-rows-kept")
+	b.ReportMetric(float64(st.PCRowsRebuilt), "pc-rows-rebuilt")
+}
+
+func BenchmarkPostRemeshSolve_Warm(b *testing.B) { benchPostRemeshSolve(b, true) }
+func BenchmarkPostRemeshSolve_Cold(b *testing.B) { benchPostRemeshSolve(b, false) }
+
+// ---------------------------------------------------------------------------
 // Assembly persistence — cold (first assembly: COO-map sparsity build +
 // freeze + scatter-plan construction) versus warm (plan-driven
 // reassembly on the frozen pattern), per Table I layout. The warm path

@@ -46,6 +46,7 @@ func main() {
 	localCahn := flag.Bool("localcahn", true, "enable local-Cahn detection where the scenario uses it")
 	vecWorkers := flag.Int("vec-workers", 0, "RHS vector-assembly shards (0: match the matrix element loop, 1: serial ablation; results are bitwise identical at any value)")
 	pc := flag.String("pc", "", "NS/PP preconditioner: bjacobi (default) | jacobi | gmg (octree geometric multigrid)")
+	warmStarts := flag.Bool("warm-starts", false, "seed the PP/VU Krylov solves from the previous (migrated) solution; same converged tolerance, fewer iterations after remeshes")
 	list := flag.Bool("list", false, "list registered scenarios and exit")
 	flag.Parse()
 
@@ -105,6 +106,9 @@ func main() {
 		// checkpoint stores state, not preconditioner choice).
 		spec.Config.Opt.PCNS = *pc
 		spec.Config.Opt.PCPP = *pc
+	}
+	if *warmStarts {
+		spec.Config.Opt.WarmStarts = true
 	}
 
 	par.Run(*ranks, func(c *par.Comm) {

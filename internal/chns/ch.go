@@ -248,9 +248,18 @@ func (p *chProblem) Jacobian(x []float64) (la.Operator, la.PC) {
 	// from the re-assembled values on every Newton iteration. Setup is
 	// tracked apart from the Krylov solve time.
 	tPC := time.Now()
-	if s.chPC == nil {
+	switch {
+	case s.chPC == nil:
 		s.chPC = la.NewPCBJacobiILU0(mat)
-	} else {
+		s.T.CH.PCSetupCold += time.Since(tPC)
+	case s.chPCStale:
+		// First setup after an incremental rebind: carry the factorization
+		// index of every pattern-preserved row, refactor values only.
+		kept, rebuilt := s.chPC.RebindPatched(mat, s.rowPatch(2))
+		s.T.RemeshStages.PCRowsKept += kept
+		s.T.RemeshStages.PCRowsRebuilt += rebuilt
+		s.chPCStale = false
+	default:
 		s.chPC.Refresh()
 	}
 	s.T.CH.PCSetup += time.Since(tPC)
@@ -292,6 +301,9 @@ func (s *Solver) StepCH(velOverride []float64) (StageReport, error) {
 	// One record per step: the Newton driver aggregates its inner Krylov
 	// iterations, so min/mean/max track per-step linear work.
 	st.Record(nw.LinearIterations)
+	if s.postRemesh {
+		s.T.RemeshStages.PostCHIters += nw.LinearIterations
+	}
 	if err != nil {
 		st.Total += time.Since(t0)
 		return rep, err

@@ -130,9 +130,14 @@ func (s *Solver) StepNS() (StageReport, error) {
 	// is timed apart from the Krylov iteration so preconditioner
 	// comparisons aren't skewed by setup cost.
 	tPC := time.Now()
-	if s.nsPC == nil {
+	switch {
+	case s.nsPC == nil:
 		s.nsPC = s.newNSPC(mat)
-	} else {
+		s.T.NS.PCSetupCold += time.Since(tPC)
+	case s.nsPCStale:
+		s.nsPC = s.rebindStagePC(s.nsPC, mat, dim, s.nsGMGCoefs, s.newNSPC)
+		s.nsPCStale = false
+	default:
 		refreshStagePC(s.nsPC, mat)
 	}
 	pcSetup := time.Since(tPC)
@@ -146,6 +151,9 @@ func (s *Solver) StepNS() (StageReport, error) {
 	res, err := s.nsKSP.Solve(rhs, s.Vel)
 	s.T.NS.Solve += time.Since(tSolve)
 	s.T.NS.Record(res.Iterations)
+	if s.postRemesh {
+		s.T.RemeshStages.PostNSIters += res.Iterations
+	}
 	m.GhostRead(s.Vel, dim)
 	rep := StageReport{Stage: StageNS, Result: res}
 	if err != nil {

@@ -21,12 +21,18 @@ import (
 func (s *Solver) ensureHierarchy() *mg.Hierarchy {
 	if s.mgH == nil {
 		if s.mgPrev != nil {
-			var reused int
-			s.mgH, reused = mg.RefreshHierarchy(s.M, s.mgPrev, mg.HierarchyOptions{})
-			s.MGLevelsReused += reused
+			h, res := mg.RefreshHierarchy(s.M, s.mgPrev, s.pcDelta, &s.mgWS, mg.HierarchyOptions{})
+			s.mgH, s.mgInfo = h, res
+			s.MGLevelsReused += res.LevelsReused
+			rs := &s.T.RemeshStages
+			rs.MGLevelsReused += res.LevelsReused
+			rs.MGLevelsPatched += res.LevelsPatched
+			rs.MGRowsPatched += res.RowsPatched
+			rs.MGRowsResolved += res.RowsResolved
 			s.mgPrev = nil
 		} else {
 			s.mgH = mg.NewHierarchy(s.M, mg.HierarchyOptions{})
+			s.mgInfo = nil
 		}
 	}
 	return s.mgH
@@ -75,6 +81,57 @@ func (s *Solver) newPPPC(mat *la.BSRMat) la.PC {
 	default:
 		return la.NewPCBJacobiILU0(mat)
 	}
+}
+
+// rebindStagePC re-keys a stage PC kept across an incremental rebind onto
+// the stage's rebuilt operator, carrying everything the mesh delta proves
+// survived: ILU(0) keeps the factorization index of pattern-preserved
+// rows (refactoring values only), Jacobi re-extracts the new diagonal in
+// place, and a multigrid PC rebinds its level assemblers and smoothers
+// onto the refreshed hierarchy before the usual coefficient/operator
+// refresh. nd is the stage's dofs per node (the row-patch expansion);
+// gmgCoefs builds the stage's coefficient bindings on the new mesh.
+// Returns the PC to install (an unrecognized type is rebuilt cold).
+func (s *Solver) rebindStagePC(pc la.PC, mat *la.BSRMat, nd int,
+	gmgCoefs func() []mg.Coefficient, rebuild func(*la.BSRMat) la.PC) la.PC {
+	rs := &s.T.RemeshStages
+	switch p := pc.(type) {
+	case *la.PCBJacobiILU0:
+		kept, rebuilt := p.RebindPatched(mat, s.rowPatch(nd))
+		rs.PCRowsKept += kept
+		rs.PCRowsRebuilt += rebuilt
+		return p
+	case *la.PCJacobi:
+		p.Rebind(mat)
+		return p
+	case *la.PCPBJacobi:
+		p.Rebind(mat)
+		return p
+	case *mg.PCGMG:
+		h := s.ensureHierarchy()
+		p.Rebind(h, s.mgInfo, gmgCoefs(), s.meshEpoch, s.rowPatch(nd))
+		p.SetFineOperator(mat)
+		p.Refresh()
+		kept, rebuilt := p.TakeRebindStats()
+		rs.PCRowsKept += kept
+		rs.PCRowsRebuilt += rebuilt
+		return p
+	default:
+		return rebuild(mat)
+	}
+}
+
+// nsGMGCoefs / ppGMGCoefs bind the stage multigrid coefficient fields to
+// the solver's (reallocated) state vectors on the current mesh.
+func (s *Solver) nsGMGCoefs() []mg.Coefficient {
+	return []mg.Coefficient{
+		{Vec: s.PhiMu, Ndof: 2},
+		{Vec: s.Vel, Ndof: s.M.Dim},
+	}
+}
+
+func (s *Solver) ppGMGCoefs() []mg.Coefficient {
+	return []mg.Coefficient{{Vec: s.PhiMu, Ndof: 2}}
 }
 
 // refreshStagePC re-keys an existing stage PC to the reassembled operator

@@ -83,16 +83,26 @@ func (s *Solver) StepPP() ([]float64, StageReport, error) {
 		s.ppPsi = m.NewVec(1)
 	}
 	psi := s.ppPsi
-	for i := range psi {
-		psi[i] = 0
+	// Warm starts keep the previous increment (migrated across remeshes)
+	// as the initial guess; the tolerance is relative to the RHS either
+	// way, so the converged solution is the same.
+	if !s.Opt.WarmStarts {
+		for i := range psi {
+			psi[i] = 0
+		}
 	}
 	// Persistent KSP + PC: workspace reused (resized in place across a
 	// Rebind); the PC choice (Opt.PCPP) re-keys in place while the mesh is
 	// unchanged, with setup timed apart from the Krylov iteration.
 	tPC := time.Now()
-	if s.ppPC == nil {
+	switch {
+	case s.ppPC == nil:
 		s.ppPC = s.newPPPC(mat)
-	} else {
+		s.T.PP.PCSetupCold += time.Since(tPC)
+	case s.ppPCStale:
+		s.ppPC = s.rebindStagePC(s.ppPC, mat, 1, s.ppGMGCoefs, s.newPPPC)
+		s.ppPCStale = false
+	default:
 		refreshStagePC(s.ppPC, mat)
 	}
 	pcSetup := time.Since(tPC)
@@ -106,6 +116,9 @@ func (s *Solver) StepPP() ([]float64, StageReport, error) {
 	res, err := s.ppKSP.Solve(rhs, psi)
 	s.T.PP.Solve += time.Since(tSolve)
 	s.T.PP.Record(res.Iterations)
+	if s.postRemesh {
+		s.T.RemeshStages.PostPPIters += res.Iterations
+	}
 	m.GhostRead(psi, 1)
 	rep := StageReport{Stage: StagePP, Result: res}
 	if err != nil {

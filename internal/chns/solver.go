@@ -17,8 +17,12 @@ type StageTimes struct {
 	// PCSetup is the preconditioner build/refresh share, kept out of Solve
 	// so PC comparisons are not skewed by setup cost (ILU refactorization,
 	// multigrid coefficient injection and coarse reassembly).
-	PCSetup    time.Duration
-	Iterations int
+	PCSetup time.Duration
+	// PCSetupCold is the cold-build sub-share of PCSetup: the from-scratch
+	// PC constructions (first step of a mesh epoch). PCSetup - PCSetupCold
+	// is the warm incremental-refresh share.
+	PCSetupCold time.Duration
+	Iterations  int
 	// Solves counts the linear solves behind Iterations; ItMin/ItMax hold
 	// the per-solve extremes, so min/mean/max iteration counts per stage
 	// are reportable from accumulated timers alone.
@@ -55,6 +59,7 @@ func (t *StageTimes) Add(o StageTimes) {
 	t.Solve += o.Solve
 	t.Total += o.Total
 	t.PCSetup += o.PCSetup
+	t.PCSetupCold += o.PCSetupCold
 	t.Iterations += o.Iterations
 	if o.Solves > 0 {
 		if t.Solves == 0 || o.ItMin < t.ItMin {
@@ -103,6 +108,28 @@ type RemeshTimes struct {
 	FullDisabled      int // DisableIncremental or a negative RemeshFullFrac
 	FullDirtyFrac     int // global dirty fraction above RemeshFullFrac
 	FullSplitterMoved int // splitters moved and migrate-then-patch disabled
+	// Remesh-aware multigrid refresh telemetry: coarse ladder levels reused
+	// verbatim / patched in place across hierarchy refreshes, and transfer
+	// target rows whose element reference was carried through the remap vs
+	// re-located by point location.
+	MGLevelsReused  int
+	MGLevelsPatched int
+	MGRowsPatched   int
+	MGRowsResolved  int
+	// Preconditioner carry-over telemetry: owned ILU(0) rows whose
+	// factorization index was carried across an incremental rebind vs
+	// re-resolved from the patched sparsity (the values refactor either
+	// way), summed over every stage and multigrid-level smoother.
+	PCRowsKept    int
+	PCRowsRebuilt int
+	// Post-remesh solve telemetry: the first full step after each remesh,
+	// with its per-stage Krylov iteration counts — what the warm-start path
+	// is measured by.
+	PostSteps   int
+	PostCHIters int
+	PostNSIters int
+	PostPPIters int
+	PostVUIters int
 }
 
 // Add accumulates o into t.
@@ -130,6 +157,17 @@ func (t *RemeshTimes) Add(o RemeshTimes) {
 	t.FullDisabled += o.FullDisabled
 	t.FullDirtyFrac += o.FullDirtyFrac
 	t.FullSplitterMoved += o.FullSplitterMoved
+	t.MGLevelsReused += o.MGLevelsReused
+	t.MGLevelsPatched += o.MGLevelsPatched
+	t.MGRowsPatched += o.MGRowsPatched
+	t.MGRowsResolved += o.MGRowsResolved
+	t.PCRowsKept += o.PCRowsKept
+	t.PCRowsRebuilt += o.PCRowsRebuilt
+	t.PostSteps += o.PostSteps
+	t.PostCHIters += o.PostCHIters
+	t.PostNSIters += o.PostNSIters
+	t.PostPPIters += o.PostPPIters
+	t.PostVUIters += o.PostVUIters
 }
 
 // Options configures the solver implementation choices being benchmarked.
@@ -161,6 +199,15 @@ type Options struct {
 	// hierarchy is shared between the stages and rebuilt on remesh.
 	PCNS string
 	PCPP string
+	// WarmStarts seeds the stage Krylov solves whose natural initial guess
+	// is the previous solution: ψ keeps its last value across steps (and
+	// rides the remesh field migration), and the split velocity-update
+	// solves start from the tentative component instead of zero. The
+	// convergence target is unchanged — the linear tolerances are relative
+	// to the RHS norm, not the initial residual — so warm starts can only
+	// reduce iteration counts, most visibly on the first step after a
+	// remesh where the migrated fields are already near the solution.
+	WarmStarts bool
 }
 
 // Stage preconditioner names accepted by Options.PCNS/PCPP and the -pc
@@ -268,6 +315,29 @@ type Solver struct {
 	// MGLevelsReused accumulates how many coarse ladder levels hierarchy
 	// refreshes reused (telemetry).
 	MGLevelsReused int
+	// mgInfo is the per-level outcome of the last hierarchy refresh: what
+	// PCGMG.Rebind needs to carry per-level assemblers and smoothers
+	// across an incremental remesh. Valid alongside mgH.
+	mgInfo *mg.RefreshResult
+	// mgWS is the hierarchy build/refresh scratch, reused across refreshes.
+	mgWS mg.Workspace
+
+	// Incremental PC carry-over state, set by RebindPatched and consumed by
+	// the first post-remesh setup of each stage preconditioner: the
+	// composed mesh delta, the old mesh's owned-node count, the lazily
+	// expanded per-ndof scalar row patches, and the per-stage "patch me
+	// instead of refreshing" flags.
+	pcDelta    *mesh.Delta
+	pcOldOwned int
+	pcPatches  map[int]*la.RowPatch
+	chPCStale  bool
+	nsPCStale  bool
+	ppPCStale  bool
+
+	// postRemesh marks the first full step after a rebind so the
+	// RemeshTimes Post* iteration telemetry can single it out; cleared at
+	// the end of Step/StepCHWithVelocity.
+	postRemesh bool
 
 	// Per-worker kernel scratch for the sharded element loops: matrix
 	// kernels and vector/residual kernels each keep one private copy per
@@ -438,7 +508,17 @@ func (s *Solver) SetMeshEpoch(e uint64) {
 	s.vuBlockKSP, s.vuBlockPC, s.vuBlockRHS = nil, nil, nil
 	// The multigrid ladder is keyed to the old forest: coarse meshes,
 	// transfers and operators must all rebuild from the new one.
-	s.mgH, s.mgPrev = nil, nil
+	s.mgH, s.mgPrev, s.mgInfo = nil, nil, nil
+	s.clearPCCarry()
+	s.postRemesh = true
+}
+
+// clearPCCarry drops the incremental PC carry-over state: the next setup
+// of every stage preconditioner goes through the cold path.
+func (s *Solver) clearPCCarry() {
+	s.pcDelta, s.pcPatches = nil, nil
+	s.pcOldOwned = 0
+	s.chPCStale, s.nsPCStale, s.ppPCStale = false, false, false
 }
 
 // MeshEpoch returns the solver's current mesh epoch.
@@ -482,19 +562,30 @@ func (s *Solver) Rebind(m *mesh.Mesh, epoch uint64) {
 	s.vuRHS, s.vuComp, s.vuNewVel, s.vuBlockRHS = nil, nil, nil, nil
 	// Stale coarse operators must never survive a Rebind: the hierarchy
 	// is rebuilt from the new mesh on the next GMG-preconditioned stage.
-	s.mgH, s.mgPrev = nil, nil
+	s.mgH, s.mgPrev, s.mgInfo = nil, nil, nil
+	s.clearPCCarry()
+	s.postRemesh = true
 }
 
 // RebindPatched moves the solver to an incrementally patched mesh
-// (mesh.Patch). It drops exactly the state Rebind drops — operators,
-// preconditioners, per-step vectors — but repairs what the mesh delta
-// proves survived: each stage assembler's frozen sparsity and assembly
-// plans are patched in place of cold rebuilds (fem.RebindPatched), and
-// the previous multigrid ladder is kept aside so the next
-// GMG-preconditioned stage refreshes it, reusing unchanged coarse levels.
-// Every rebuilt object is bitwise identical to what the full Rebind path
-// would produce, so the two paths yield identical runs. Collective.
+// (mesh.Patch). It drops the per-step vectors and operator values Rebind
+// drops, but repairs what the mesh delta proves survived: each stage
+// assembler's frozen sparsity and assembly plans are patched in place of
+// cold rebuilds (fem.RebindPatched); the stage ILU(0)/Jacobi
+// preconditioners are kept and flagged so their first post-remesh setup
+// carries the factorization index of every pattern-preserved row instead
+// of rebuilding it (la.RowPatch); and the previous multigrid ladder is
+// kept aside so the next GMG-preconditioned stage refreshes it, reusing
+// unchanged coarse levels and rebinding the stage PCGMGs in place. Every
+// repaired object is bitwise identical to what the full Rebind path would
+// produce, so the two paths yield identical runs. Collective.
 func (s *Solver) RebindPatched(m *mesh.Mesh, epoch uint64, d *mesh.Delta) {
+	// A second incremental rebind before any stage consumed the first has
+	// no composed delta at this level: degrade the PC carry-over to the
+	// cold path. The hierarchy refresh still works off the kept previous
+	// ladder, just without the fine-level transfer patch.
+	stacked := s.chPCStale || s.nsPCStale || s.ppPCStale
+	oldOwned := s.M.NumOwned
 	s.M = m
 	s.PhiMu = m.NewVec(2)
 	s.Vel = m.NewVec(m.Dim)
@@ -510,14 +601,54 @@ func (s *Solver) RebindPatched(m *mesh.Mesh, epoch uint64, d *mesh.Delta) {
 	s.chMat, s.nsMat, s.ppMat, s.vuBlockMat = nil, nil, nil, nil
 	s.vuMass, s.vuMassPC = nil, nil
 	s.chMassMat, s.chMassPC = nil, nil
-	s.chPC, s.nsPC, s.ppPC, s.vuBlockPC = nil, nil, nil, nil
+	s.vuBlockPC = nil
+	if d != nil && !stacked {
+		s.pcDelta, s.pcOldOwned, s.pcPatches = d, oldOwned, nil
+		s.chPCStale = s.chPC != nil
+		s.nsPCStale = s.nsPC != nil
+		s.ppPCStale = s.ppPC != nil
+	} else {
+		s.clearPCCarry()
+		s.chPC, s.nsPC, s.ppPC = nil, nil, nil
+	}
 	s.chOld = nil
 	s.nsRHS = nil
 	s.ppRHS, s.ppPsi = nil, nil
 	s.vuRHS, s.vuComp, s.vuNewVel, s.vuBlockRHS = nil, nil, nil, nil
-	s.mgPrev = s.mgH
-	s.mgH = nil
+	if s.mgH != nil {
+		s.mgPrev = s.mgH
+	}
+	s.mgH, s.mgInfo = nil, nil
+	s.postRemesh = true
 }
+
+// rowPatch returns the owned scalar-row patch of an nd-dof-per-node
+// operator under the pending incremental rebind (nil when none is
+// pending), expanding and caching it per ndof on first use.
+func (s *Solver) rowPatch(nd int) *la.RowPatch {
+	if s.pcDelta == nil {
+		return nil
+	}
+	if s.pcPatches == nil {
+		s.pcPatches = make(map[int]*la.RowPatch)
+	}
+	if p, ok := s.pcPatches[nd]; ok {
+		return p
+	}
+	p := mg.NodeRowPatch(s.pcDelta, s.pcOldOwned, s.M.NumOwned, nd)
+	s.pcPatches[nd] = p
+	return p
+}
+
+// PsiState returns the solver's persistent pressure-increment buffer ψ
+// (nil before the first PP solve, dropped by the rebinds): what a remesh
+// transfers onto the new mesh when warm starts are on, so the first
+// post-remesh PP solve starts from the migrated previous increment.
+func (s *Solver) PsiState() []float64 { return s.ppPsi }
+
+// SetPsiState installs a transferred ψ buffer on the current mesh (length
+// NumLocal scalars); the next warm-started PP solve seeds from it.
+func (s *Solver) SetPsiState(p []float64) { s.ppPsi = p }
 
 // SetPhi initializes φ from a point function and sets μ consistently to 0.
 func (s *Solver) SetPhi(f func(x, y, z float64) float64) {
@@ -587,6 +718,10 @@ func (s *Solver) Step() (StepReport, error) {
 		return rep, err
 	}
 	rep.VU, err = s.StepVU(psi)
+	if err == nil && s.postRemesh {
+		s.T.RemeshStages.PostSteps++
+		s.postRemesh = false
+	}
 	return rep, err
 }
 
@@ -599,5 +734,9 @@ func (s *Solver) StepCHWithVelocity(f func(x, y, z float64) (vx, vy, vz float64)
 	var err error
 	s.SetVelocity(f)
 	rep.CH, err = s.StepCH(nil)
+	if err == nil && s.postRemesh {
+		s.T.RemeshStages.PostSteps++
+		s.postRemesh = false
+	}
 	return rep, err
 }

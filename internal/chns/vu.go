@@ -100,12 +100,24 @@ func (s *Solver) StepVU(psi []float64) (StageReport, error) {
 			}
 			s.T.VU.Vector += time.Since(tVec)
 			tSolve := time.Now()
-			for i := range comp {
-				comp[i] = 0
+			if s.Opt.WarmStarts {
+				// The tentative component is the natural initial guess for
+				// its own mass-projection (same converged solution: the
+				// tolerance is relative to the RHS).
+				for i := range comp {
+					comp[i] = s.Vel[i*dim+d]
+				}
+			} else {
+				for i := range comp {
+					comp[i] = 0
+				}
 			}
 			res, err := s.vuKSP.Solve(rhs, comp)
 			s.T.VU.Solve += time.Since(tSolve)
 			s.T.VU.Record(res.Iterations)
+			if s.postRemesh {
+				s.T.RemeshStages.PostVUIters += res.Iterations
+			}
 			itSum += res.Iterations
 			rep.Result = res
 			rep.Result.Iterations = itSum
@@ -175,6 +187,9 @@ func (s *Solver) StepVU(psi []float64) (StageReport, error) {
 		res, err := s.vuBlockKSP.Solve(rhs, s.Vel)
 		s.T.VU.Solve += time.Since(tSolve)
 		s.T.VU.Record(res.Iterations)
+		if s.postRemesh {
+			s.T.RemeshStages.PostVUIters += res.Iterations
+		}
 		rep.Result = res
 		if err != nil {
 			s.T.VU.Total += time.Since(t0)

@@ -481,6 +481,13 @@ func (s *Simulation) Adapt() {
 	tTransfer := time.Now()
 	s.MeshEpoch++
 	oldPhiMu, oldVel, oldP := sol.PhiMu, sol.Vel, sol.P
+	// With warm starts on, the solver's persistent pressure increment ψ
+	// rides the same transfer as the state fields, so the first
+	// post-remesh PP solve seeds from the migrated previous increment.
+	// The rebind drops the buffer, so capture it first.
+	oldPsi := sol.PsiState()
+	warmPsi := cfg.Opt.WarmStarts && oldPsi != nil
+	var newPsi []float64
 	// An incremental build carries its delta into the solver rebind so
 	// assembly plans are repaired instead of rebuilt; otherwise the full
 	// invalidating rebind runs. Both produce bitwise-identical solves.
@@ -495,11 +502,16 @@ func (s *Simulation) Adapt() {
 	switch {
 	case partitionOnly:
 		rebind()
-		transfer.MigrateNodal(m, newM, []transfer.Field{
+		fields := []transfer.Field{
 			{Src: oldPhiMu, Dst: sol.PhiMu, Ndof: 2},
 			{Src: oldVel, Dst: sol.Vel, Ndof: cfg.Dim},
 			{Src: oldP, Dst: sol.P, Ndof: 1},
-		})
+		}
+		if warmPsi {
+			newPsi = newM.NewVec(1)
+			fields = append(fields, transfer.Field{Src: oldPsi, Dst: newPsi, Ndof: 1})
+		}
+		transfer.MigrateNodal(m, newM, fields)
 		newCnMark = transfer.MigrateElem(s.Comm, m.Elems, cnMark, newM.Elems)
 		rt.PartitionOnly++
 	case cfg.SequentialTransfer:
@@ -508,6 +520,9 @@ func (s *Simulation) Adapt() {
 		newPhiMu := transfer.Nodal(m, oldPhiMu, newM, 2)
 		newVel := transfer.Nodal(m, oldVel, newM, cfg.Dim)
 		newP := transfer.Nodal(m, oldP, newM, 1)
+		if warmPsi {
+			newPsi = transfer.Nodal(m, oldPsi, newM, 1)
+		}
 		rebind()
 		copy(sol.PhiMu, newPhiMu)
 		copy(sol.Vel, newVel)
@@ -527,26 +542,45 @@ func (s *Simulation) Adapt() {
 		viewPhiMu := view.NewVec(2)
 		viewVel := view.NewVec(cfg.Dim)
 		viewP := view.NewVec(1)
-		transfer.MigrateNodal(m, view, []transfer.Field{
+		migFields := []transfer.Field{
 			{Src: oldPhiMu, Dst: viewPhiMu, Ndof: 2},
 			{Src: oldVel, Dst: viewVel, Ndof: cfg.Dim},
 			{Src: oldP, Dst: viewP, Ndof: 1},
-		})
+		}
+		var viewPsi []float64
+		if warmPsi {
+			viewPsi = view.NewVec(1)
+			migFields = append(migFields, transfer.Field{Src: oldPsi, Dst: viewPsi, Ndof: 1})
+		}
+		transfer.MigrateNodal(m, view, migFields)
 		rt.Migrate += time.Since(tMigrate)
-		transfer.Batch(view, newM, []transfer.Field{
+		fields := []transfer.Field{
 			{Src: viewPhiMu, Dst: sol.PhiMu, Ndof: 2},
 			{Src: viewVel, Dst: sol.Vel, Ndof: cfg.Dim},
 			{Src: viewP, Dst: sol.P, Ndof: 1},
-		}, &s.tws)
+		}
+		if warmPsi {
+			newPsi = newM.NewVec(1)
+			fields = append(fields, transfer.Field{Src: viewPsi, Dst: newPsi, Ndof: 1})
+		}
+		transfer.Batch(view, newM, fields, &s.tws)
 		newCnMark = transfer.CellCentered(s.Comm, cfg.Dim, refined, refinedCn, newM.Elems)
 	default:
 		rebind()
-		transfer.Batch(m, newM, []transfer.Field{
+		fields := []transfer.Field{
 			{Src: oldPhiMu, Dst: sol.PhiMu, Ndof: 2},
 			{Src: oldVel, Dst: sol.Vel, Ndof: cfg.Dim},
 			{Src: oldP, Dst: sol.P, Ndof: 1},
-		}, &s.tws)
+		}
+		if warmPsi {
+			newPsi = newM.NewVec(1)
+			fields = append(fields, transfer.Field{Src: oldPsi, Dst: newPsi, Ndof: 1})
+		}
+		transfer.Batch(m, newM, fields, &s.tws)
 		newCnMark = transfer.CellCentered(s.Comm, cfg.Dim, refined, refinedCn, newM.Elems)
+	}
+	if warmPsi {
+		sol.SetPsiState(newPsi)
 	}
 	for e := range sol.ElemCn {
 		if cfg.LocalCahn && newCnMark[e] > 0.25 {
@@ -637,6 +671,10 @@ func (s *Simulation) Timers() chns.Timers {
 	t.NS.Add(s.Solver.T.NS)
 	t.PP.Add(s.Solver.T.PP)
 	t.VU.Add(s.Solver.T.VU)
+	// The solver's remesh counters (MG refresh carry-over, PC rows,
+	// post-remesh iterations) accumulate on its side of the seam; the
+	// pipeline sub-timers accumulate on ours. The two sets are disjoint.
+	t.RemeshStages.Add(s.Solver.T.RemeshStages)
 	return t
 }
 

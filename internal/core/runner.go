@@ -270,14 +270,30 @@ type RunStats struct {
 	MigrateBuildRounds int `json:"migrate_build_rounds"`
 	FullBuildRounds    int `json:"full_build_rounds"`
 	// Why each full build ran; the four reasons sum to FullBuildRounds.
-	FullPartitionRounds int         `json:"full_partition_rounds"`
-	FullDisabledRounds  int         `json:"full_disabled_rounds"`
-	FullDirtyRounds     int         `json:"full_dirty_rounds"`
-	FullSplitterRounds  int         `json:"full_splitter_rounds"`
-	RippleRounds        int         `json:"ripple_rounds"`
-	DirtyFraction       float64     `json:"dirty_fraction"`
-	LevelHistogram      []float64   `json:"level_histogram"`
-	Timers              chns.Timers `json:"timers"`
+	FullPartitionRounds int     `json:"full_partition_rounds"`
+	FullDisabledRounds  int     `json:"full_disabled_rounds"`
+	FullDirtyRounds     int     `json:"full_dirty_rounds"`
+	FullSplitterRounds  int     `json:"full_splitter_rounds"`
+	RippleRounds        int     `json:"ripple_rounds"`
+	DirtyFraction       float64 `json:"dirty_fraction"`
+	// Remesh-aware multigrid refresh accounting: coarse ladder levels
+	// reused / patched across hierarchy refreshes, transfer rows patched
+	// through the element remap vs re-resolved by point location, and the
+	// ILU(0) rows whose factorization index was carried vs rebuilt across
+	// incremental rebinds.
+	MGLevelsReused  int `json:"mg_levels_reused"`
+	MGLevelsPatched int `json:"mg_levels_patched"`
+	MGRowsPatched   int `json:"mg_rows_patched"`
+	MGRowsResolved  int `json:"mg_rows_resolved"`
+	PCRowsKept      int `json:"pc_rows_kept"`
+	PCRowsRebuilt   int `json:"pc_rows_rebuilt"`
+	// Post-remesh solves (the first full step after each remesh): how many
+	// there were and the mean per-stage Krylov iteration count on them —
+	// the numbers the warm-start path is judged by.
+	PostRemeshSteps int                `json:"post_remesh_steps"`
+	PostRemeshIters map[string]float64 `json:"post_remesh_iters_mean,omitempty"`
+	LevelHistogram  []float64          `json:"level_histogram"`
+	Timers          chns.Timers        `json:"timers"`
 	// KrylovIters summarizes the per-stage linear-solver iteration counts
 	// (keys "ch", "ns", "pp", "vu"), making preconditioner comparisons —
 	// the GMG-vs-ILU0 iteration claim in particular — machine-checkable
@@ -318,6 +334,15 @@ func (s *Simulation) Stats() RunStats {
 	if t.RemeshStages.TotalOctants > 0 {
 		dirtyFrac = float64(t.RemeshStages.DirtyOctants) / float64(t.RemeshStages.TotalOctants)
 	}
+	var postIters map[string]float64
+	if n := t.RemeshStages.PostSteps; n > 0 {
+		postIters = map[string]float64{
+			"ch": float64(t.RemeshStages.PostCHIters) / float64(n),
+			"ns": float64(t.RemeshStages.PostNSIters) / float64(n),
+			"pp": float64(t.RemeshStages.PostPPIters) / float64(n),
+			"vu": float64(t.RemeshStages.PostVUIters) / float64(n),
+		}
+	}
 	return RunStats{
 		Scenario:            s.ScenarioName,
 		Preset:              s.PresetName,
@@ -340,6 +365,14 @@ func (s *Simulation) Stats() RunStats {
 		FullSplitterRounds:  t.RemeshStages.FullSplitterMoved,
 		RippleRounds:        t.RemeshStages.RippleRounds,
 		DirtyFraction:       dirtyFrac,
+		MGLevelsReused:      t.RemeshStages.MGLevelsReused,
+		MGLevelsPatched:     t.RemeshStages.MGLevelsPatched,
+		MGRowsPatched:       t.RemeshStages.MGRowsPatched,
+		MGRowsResolved:      t.RemeshStages.MGRowsResolved,
+		PCRowsKept:          t.RemeshStages.PCRowsKept,
+		PCRowsRebuilt:       t.RemeshStages.PCRowsRebuilt,
+		PostRemeshSteps:     t.RemeshStages.PostSteps,
+		PostRemeshIters:     postIters,
 		LevelHistogram:      s.LevelHistogram(),
 		Timers:              t,
 		KrylovIters: map[string]IterStats{

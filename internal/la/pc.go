@@ -20,6 +20,20 @@ type Refresher interface {
 	Refresh()
 }
 
+// RowPatch describes how the owned scalar rows of a matrix moved across an
+// incremental remesh (mesh.Patch / mesh.PatchMigrated), in la's own terms so
+// this package stays mesh-agnostic. Remap maps each old owned scalar row to
+// its new owned row (-1: dropped, or no longer owned here); Dirty flags new
+// owned rows whose column pattern may differ from the old one. A row that is
+// mapped and not dirty ("clean") is guaranteed — by the patched-sparsity
+// offset-preservation invariant — to keep its column pattern positionally:
+// same length, columns remapped through the same node permutation, sorted
+// order and ownedness preserved.
+type RowPatch struct {
+	Remap []int32
+	Dirty []bool
+}
+
 // PCNone is the identity preconditioner.
 type PCNone struct{}
 
@@ -65,6 +79,22 @@ func (p *PCJacobi) Refresh() {
 			}
 		}
 	}
+}
+
+// Rebind re-points the preconditioner at a replacement matrix (the
+// incremental-remesh carry-over path), growing the diagonal storage only
+// when the new operator is larger, and re-extracts the values.
+func (p *PCJacobi) Rebind(m *BSRMat) {
+	if !m.Finalized() {
+		m.Finalize()
+	}
+	p.m = m
+	n := m.Rows()
+	if cap(p.inv) < n {
+		p.inv = make([]float64, n)
+	}
+	p.inv = p.inv[:n]
+	p.Refresh()
 }
 
 // Apply implements PC.
@@ -121,6 +151,22 @@ func (p *PCPBJacobi) Refresh() {
 	}
 }
 
+// Rebind re-points the preconditioner at a replacement matrix (the
+// incremental-remesh carry-over path) and re-inverts the diagonal blocks.
+func (p *PCPBJacobi) Rebind(m *BSRMat) {
+	if !m.Finalized() {
+		m.Finalize()
+	}
+	p.m = m
+	p.bs = m.Bs
+	n := m.NRowNodes * p.bs * p.bs
+	if cap(p.inv) < n {
+		p.inv = make([]float64, n)
+	}
+	p.inv = p.inv[:n]
+	p.Refresh()
+}
+
 // Apply implements PC.
 func (p *PCPBJacobi) Apply(r, z []float64) {
 	bs := p.bs
@@ -173,6 +219,118 @@ func NewPCBJacobiILU0(m *BSRMat) *PCBJacobiILU0 {
 func (p *PCBJacobiILU0) Refresh() {
 	p.m.LocalCSRValuesInto(p.indptr, p.lu)
 	p.factor()
+}
+
+// RebindPatched re-keys the factorization to a replacement matrix across an
+// incremental remesh. Where patch proves a row (and the rows its elimination
+// touches) kept its column pattern, the ILU(0) update index — the expensive
+// hash-resolved pattern intersection of buildIndex — is carried over by pure
+// offset arithmetic; only dirty rows re-resolve their intersections, with a
+// two-pointer merge over the sorted patterns. The values are always
+// re-extracted and the numeric factorization redone in full, so the result
+// is bitwise identical to NewPCBJacobiILU0(m). A nil patch rebuilds from
+// scratch. Returns the owned scalar rows whose index was carried vs rebuilt.
+func (p *PCBJacobiILU0) RebindPatched(m *BSRMat, patch *RowPatch) (kept, rebuilt int) {
+	if patch == nil {
+		*p = *NewPCBJacobiILU0(m)
+		return 0, p.n
+	}
+	oldIndptr := p.indptr
+	oldUpdOff, oldUpdSrc, oldUpdDst := p.updOff, p.updSrc, p.updDst
+	indptr, cols, vals, n := m.LocalCSR()
+	p.m, p.n, p.indptr, p.cols, p.lu = m, n, indptr, cols, vals
+	if cap(p.diag) < n {
+		p.diag = make([]int32, n)
+	}
+	p.diag = p.diag[:n]
+	// oldOf inverts the row remap: new owned row -> old owned row, -1 when
+	// the row is new here. A "clean" row additionally requires the patch's
+	// non-dirty promise and (defensively) an unchanged local pattern length;
+	// LocalCSR drops ghost columns, so a column whose ownedness flipped
+	// would change the length and demote the row to the merge path.
+	oldOf := make([]int32, n)
+	for i := range oldOf {
+		oldOf[i] = -1
+	}
+	for or, nr := range patch.Remap {
+		if nr >= 0 && int(nr) < n {
+			oldOf[nr] = int32(or)
+		}
+	}
+	clean := make([]bool, n)
+	for r := 0; r < n; r++ {
+		or := oldOf[r]
+		clean[r] = or >= 0 && !patch.Dirty[r] &&
+			indptr[r+1]-indptr[r] == oldIndptr[or+1]-oldIndptr[or]
+	}
+	for r := 0; r < n; r++ {
+		p.diag[r] = -1
+		for j := indptr[r]; j < indptr[r+1]; j++ {
+			if int(cols[j]) == r {
+				p.diag[r] = j
+				break
+			}
+		}
+		if p.diag[r] < 0 {
+			panic(fmt.Sprintf("la: missing diagonal in row %d", r))
+		}
+	}
+	updOff := make([]int32, len(cols)+1)
+	updSrc := make([]int32, 0, len(oldUpdSrc))
+	updDst := make([]int32, 0, len(oldUpdDst))
+	for r := 0; r < n; r++ {
+		rowClean := clean[r]
+		if rowClean {
+			kept++
+		} else {
+			rebuilt++
+		}
+		for j := indptr[r]; j < indptr[r+1]; j++ {
+			updOff[j+1] = updOff[j]
+			k := int(cols[j])
+			if k >= r {
+				continue
+			}
+			if rowClean && clean[k] {
+				// Both row patterns are positional images of their old
+				// selves under one injective node permutation, so the old
+				// pattern intersection maps entry-for-entry (in the same
+				// jj-ascending order buildIndex emits): carry the pairs by
+				// re-basing the stored offsets into the new rows.
+				or, ok := oldOf[r], oldOf[k]
+				oj := oldIndptr[or] + (j - indptr[r])
+				for u := oldUpdOff[oj]; u < oldUpdOff[oj+1]; u++ {
+					updSrc = append(updSrc, oldUpdSrc[u]-oldIndptr[ok]+indptr[k])
+					updDst = append(updDst, oldUpdDst[u]-oldIndptr[or]+indptr[r])
+					updOff[j+1]++
+				}
+				continue
+			}
+			// Re-resolve the ILU(0) pattern intersection for this entry:
+			// row k's post-diagonal columns against row r's columns, both
+			// sorted ascending — same pairs and order as buildIndex's
+			// hash-lookup construction.
+			a, b := p.diag[k]+1, indptr[r]
+			ae, be := indptr[k+1], indptr[r+1]
+			for a < ae && b < be {
+				switch {
+				case cols[a] == cols[b]:
+					updSrc = append(updSrc, a)
+					updDst = append(updDst, b)
+					updOff[j+1]++
+					a++
+					b++
+				case cols[a] < cols[b]:
+					a++
+				default:
+					b++
+				}
+			}
+		}
+	}
+	p.updOff, p.updSrc, p.updDst = updOff, updSrc, updDst
+	p.factor()
+	return kept, rebuilt
 }
 
 // buildIndex records each row's diagonal slot and precomputes, for every

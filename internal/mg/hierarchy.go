@@ -50,63 +50,80 @@ type Hierarchy struct {
 	Up []*Transfer
 }
 
+// Workspace holds the per-level scratch of a hierarchy build (the leaves
+// copy handed to the coarsener and the per-leaf target levels), reusable
+// across refreshes so a warm refresh stops allocating per round. The zero
+// value is ready to use.
+type Workspace struct {
+	leaves  []sfc.Octant
+	targets []int
+}
+
+// LevelState records how one ladder level was produced by a refresh,
+// aligned with Hierarchy.Meshes. Level 0 carries the caller's fine-mesh
+// delta.
+type LevelState struct {
+	// Reused: the level's mesh is the previous ladder's object, unchanged.
+	Reused bool
+	// Delta is non-nil when the level's mesh was patched from the previous
+	// ladder's mesh (mesh.Patch) instead of built from scratch; it maps the
+	// old level mesh onto the new one. For level 0 it is the delta the
+	// caller passed in (the solver's composed remesh delta).
+	Delta *mesh.Delta
+	// OldOwned is the previous level mesh's owned-node count, valid when
+	// Delta is non-nil: what NodeRowPatch needs to expand the node remap
+	// into a matrix row patch.
+	OldOwned int
+}
+
+// RefreshResult is the delta-aware refresh telemetry: per-level states for
+// preconditioner carry-over, plus the reuse/patch counters.
+type RefreshResult struct {
+	Levels []LevelState
+	// LevelsReused / LevelsPatched count coarse levels whose mesh was
+	// reused verbatim / patched in place (the rest were built cold).
+	LevelsReused  int
+	LevelsPatched int
+	// RowsPatched / RowsResolved count transfer target entries whose
+	// containing-element reference was carried through the element remap vs
+	// re-located in the new forest, over every patched transfer.
+	RowsPatched  int
+	RowsResolved int
+}
+
 // NewHierarchy builds the ladder under fine. Collective; the same option
 // values must be passed on every rank. The ladder always has at least the
 // fine level; it stops early when coarsening makes no global progress.
 func NewHierarchy(fine *mesh.Mesh, o HierarchyOptions) *Hierarchy {
-	o.defaults()
-	c := fine.Comm
-	dim := fine.Dim
-	h := &Hierarchy{
-		Meshes: []*mesh.Mesh{fine},
-		Down:   []*Transfer{nil},
-		Up:     []*Transfer{nil},
-	}
-	cur := fine
-	prev := globalElems(c, cur)
-	for len(h.Meshes) < o.MaxLevels && prev > o.CoarseElems {
-		leaves := append([]sfc.Octant(nil), cur.Elems...)
-		targets := make([]int, len(leaves))
-		for i, lf := range leaves {
-			t := int(lf.Level) - 1
-			if t < o.MinLevel {
-				t = o.MinLevel
-			}
-			targets[i] = t
-		}
-		coarse := octree.ParCoarsen(c, dim, leaves, targets)
-		coarse = octree.Balance21Distributed(c, dim, coarse, nil)
-		coarse = octree.PartitionWeighted(c, coarse, nil)
-		cnt := par.Allreduce(c, int64(len(coarse)), func(a, b int64) int64 { return a + b })
-		if cnt >= prev {
-			break
-		}
-		cm := mesh.New(c, dim, coarse)
-		h.Down = append(h.Down, NewTransfer(cur, cm.Keys[:cm.NumOwned]))
-		h.Up = append(h.Up, NewTransfer(cm, cur.Keys[:cur.NumOwned]))
-		h.Meshes = append(h.Meshes, cm)
-		cur, prev = cm, cnt
-	}
+	var ws Workspace
+	h, _ := RefreshHierarchy(fine, nil, nil, &ws, o)
 	return h
 }
 
 // Levels returns the number of levels in the ladder (>= 1).
 func (h *Hierarchy) Levels() int { return len(h.Meshes) }
 
-// RefreshHierarchy rebuilds the ladder under a remeshed fine mesh,
-// reusing every coarse level of prev whose forest (leaves and partition)
-// is unchanged — the coarsening, balancing and partitioning per level are
-// deterministic, so an unchanged coarse forest implies mesh.New would
-// reproduce the previous level's mesh exactly, and the object is reused
-// instead. A level's transfers are reused only when both adjacent meshes
-// were (level 1 never is: the fine mesh object is always new). Returns
-// the ladder and the number of reused coarse levels; the result is
-// bitwise identical to NewHierarchy(fine, o). Collective.
-func RefreshHierarchy(fine *mesh.Mesh, prev *Hierarchy, o HierarchyOptions) (*Hierarchy, int) {
-	if prev == nil {
-		return NewHierarchy(fine, o), 0
-	}
+// RefreshHierarchy rebuilds the ladder under a remeshed fine mesh, carrying
+// everything the previous ladder proves survived. Per coarse level, in
+// order of preference: an unchanged forest (leaves and partition) reuses
+// the previous mesh object outright — coarsening, balancing and
+// partitioning are deterministic, so an unchanged coarse forest implies
+// mesh.New would reproduce the previous level exactly; a changed forest
+// with unmoved splitters patches the previous mesh in place (mesh.Patch),
+// propagating a per-level delta down the ladder; otherwise the level is
+// built cold. Transfers follow the meshes: reused on both-reused levels,
+// patched in place through the element remap where the source side changed
+// partition-stably under an unchanged target list (d is the fine-level
+// remap; level deltas take over below), rebuilt otherwise. prev may be nil
+// (a cold build — what NewHierarchy does); d may be nil when no fine-mesh
+// delta is known, which only disables the level-1 transfer patch. ws must
+// be non-nil and is reused across calls. The result is bitwise identical
+// to NewHierarchy(fine, o). Collective.
+func RefreshHierarchy(fine *mesh.Mesh, prev *Hierarchy, d *mesh.Delta, ws *Workspace, o HierarchyOptions) (*Hierarchy, *RefreshResult) {
 	o.defaults()
+	if ws == nil {
+		ws = &Workspace{}
+	}
 	c := fine.Comm
 	dim := fine.Dim
 	h := &Hierarchy{
@@ -114,13 +131,32 @@ func RefreshHierarchy(fine *mesh.Mesh, prev *Hierarchy, o HierarchyOptions) (*Hi
 		Down:   []*Transfer{nil},
 		Up:     []*Transfer{nil},
 	}
+	res := &RefreshResult{Levels: []LevelState{{Delta: d}}}
 	cur := fine
 	prevCnt := globalElems(c, cur)
+	// curDelta/curRemap/curStable describe cur against prev's same level:
+	// stable means the level's splitters are unchanged (every mesh.Patch
+	// round is), so an old transfer sourced on it keeps its ownership
+	// routing and can be patched instead of rebuilt.
 	curReused := false
-	reusedLevels := 0
+	curStable := false
+	var curRemap []int32
+	if prev != nil && d != nil && len(prev.Meshes) > 0 {
+		res.Levels[0].OldOwned = prev.Meshes[0].NumOwned
+		oldSpl := octree.GatherSplitters(c, prev.Meshes[0].Elems)
+		newSpl := octree.GatherSplitters(c, fine.Elems)
+		if oldSpl.Equal(newSpl) {
+			curStable = true
+			curRemap = invertElemRemap(d)
+		}
+	}
 	for len(h.Meshes) < o.MaxLevels && prevCnt > o.CoarseElems {
-		leaves := append([]sfc.Octant(nil), cur.Elems...)
-		targets := make([]int, len(leaves))
+		ws.leaves = append(ws.leaves[:0], cur.Elems...)
+		leaves := ws.leaves
+		if cap(ws.targets) < len(leaves) {
+			ws.targets = make([]int, len(leaves))
+		}
+		targets := ws.targets[:len(leaves)]
 		for i, lf := range leaves {
 			t := int(lf.Level) - 1
 			if t < o.MinLevel {
@@ -137,26 +173,71 @@ func RefreshHierarchy(fine *mesh.Mesh, prev *Hierarchy, o HierarchyOptions) (*Hi
 		}
 		l := len(h.Meshes)
 		var cm *mesh.Mesh
+		var cmDelta *mesh.Delta
+		var cmRemap []int32
 		reused := false
-		if l < len(prev.Meshes) && sameLocalForest(c, prev.Meshes[l].Elems, coarse) {
-			cm = prev.Meshes[l]
-			reused = true
-			reusedLevels++
-		} else {
+		oldOwned := 0
+		if prev != nil && l < len(prev.Meshes) {
+			pm := prev.Meshes[l]
+			oldOwned = pm.NumOwned
+			if sameLocalForest(c, pm.Elems, coarse) {
+				cm, reused = pm, true
+				res.LevelsReused++
+			} else if patched, pd := mesh.Patch(c, dim, coarse, pm, octree.AddedLeaves(pm.Elems, coarse)); patched != nil {
+				cm, cmDelta = patched, pd
+				cmRemap = invertElemRemap(pd)
+				res.LevelsPatched++
+			}
+		}
+		if cm == nil {
 			cm = mesh.New(c, dim, coarse)
 		}
-		if reused && curReused {
+		switch {
+		case reused && curReused:
 			h.Down = append(h.Down, prev.Down[l])
 			h.Up = append(h.Up, prev.Up[l])
-		} else {
+		case reused && curStable:
+			// The source side changed partition-stably and the target list
+			// (cm's owned nodes) is unchanged: the old Down transfer keeps
+			// its routing; only its element references move.
+			patched, resolved := patchTransfer(prev.Down[l], cur, curRemap)
+			res.RowsPatched += patched
+			res.RowsResolved += resolved
+			h.Down = append(h.Down, prev.Down[l])
+			h.Up = append(h.Up, NewTransfer(cm, cur.Keys[:cur.NumOwned]))
+		default:
 			h.Down = append(h.Down, NewTransfer(cur, cm.Keys[:cm.NumOwned]))
 			h.Up = append(h.Up, NewTransfer(cm, cur.Keys[:cur.NumOwned]))
 		}
 		h.Meshes = append(h.Meshes, cm)
+		res.Levels = append(res.Levels, LevelState{Reused: reused, Delta: cmDelta, OldOwned: oldOwned})
 		cur, prevCnt = cm, cnt
 		curReused = reused
+		curStable = reused || cmDelta != nil
+		curRemap = cmRemap
 	}
-	return h, reusedLevels
+	return h, res
+}
+
+// invertElemRemap inverts a delta's OldElem (new element -> old element)
+// into old -> new, -1 for old elements that did not survive.
+func invertElemRemap(d *mesh.Delta) []int32 {
+	maxOld := -1
+	for _, oe := range d.OldElem {
+		if int(oe) > maxOld {
+			maxOld = int(oe)
+		}
+	}
+	inv := make([]int32, maxOld+1)
+	for i := range inv {
+		inv[i] = -1
+	}
+	for ne, oe := range d.OldElem {
+		if oe >= 0 {
+			inv[oe] = int32(ne)
+		}
+	}
+	return inv
 }
 
 // sameLocalForest reports — collectively and consistently — whether every

@@ -124,6 +124,48 @@ func NewTransfer(src *mesh.Mesh, tgt []mesh.NodeKey) *Transfer {
 	return t
 }
 
+// patchTransfer re-keys a Transfer in place onto a patched version of its
+// source mesh. Valid only when the target list is unchanged and the source
+// partition's splitters did not move (every mesh.Patch round): then each
+// target's owning rank is unchanged, so the local/remote routing, target
+// points, message pattern and wire buffers all stay — only the
+// containing-element references move. References whose element survived the
+// patch (remap: old element -> new, -1 gone) are carried positionally; the
+// rest re-locate in the new forest. A surviving octant still contains the
+// same points and leaf containment is unique, so the patched transfer is
+// bitwise identical to NewTransfer(src, <same targets>). Returns the
+// carried vs re-located entry counts.
+func patchTransfer(t *Transfer, src *mesh.Mesh, remap []int32) (patched, resolved int) {
+	t.src = src
+	tree := &octree.Tree{Dim: src.Dim, Leaves: src.Elems}
+	fix := func(elems []int32, pts []mesh.NodeKey) {
+		for i, oe := range elems {
+			ne := int32(-1)
+			if int(oe) < len(remap) {
+				ne = remap[oe]
+			}
+			if ne >= 0 {
+				patched++
+			} else {
+				p := pts[i]
+				x, y, z := clampInward(p, src.Dim)
+				e := tree.PointLocate(x, y, z)
+				if e < 0 {
+					panic(fmt.Sprintf("mg: point (%d,%d,%d) not in local source forest", p.X, p.Y, p.Z))
+				}
+				ne = int32(e)
+				resolved++
+			}
+			elems[i] = ne
+		}
+	}
+	fix(t.locElem, t.locPt)
+	for i := range t.ans {
+		fix(t.ans[i].elems, t.ans[i].pts)
+	}
+	return patched, resolved
+}
+
 // clampInward maps a grid point to the cell-interior coordinates used for
 // ownership and location, mirroring the mesh builder's canonical-owner
 // rule: coordinates on the domain's far faces belong to the cell just

@@ -76,7 +76,11 @@ type Level struct {
 	Coef    [][]float64
 	Scratch any
 
-	smoother   la.PC
+	smoother la.PC
+	// pending is a one-shot row patch left by Rebind: the next
+	// refreshSmoother consumes it to carry the smoother's factorization
+	// index across the remesh instead of dropping the smoother.
+	pending    *la.RowPatch
 	bnd        []int32 // Dirichlet dof-rows (owned), nil unless BoundaryDirichlet
 	x, b, r, t []float64
 }
@@ -91,9 +95,14 @@ type Level struct {
 // shard-canonical SpMV uses the pool; smoothing, transfers and vector
 // updates are serial per rank).
 type PCGMG struct {
-	h   *Hierarchy
-	cfg Config
-	lv  []*Level
+	h    *Hierarchy
+	cfg  Config
+	pool *par.Pool
+	lv   []*Level
+	// rowsKept/rowsRebuilt accumulate, across Rebind-pended smoother
+	// refreshes, how many owned ILU(0) rows carried their factorization
+	// index vs re-resolved it (TakeRebindStats drains them).
+	rowsKept, rowsRebuilt int
 }
 
 // NewPCGMG builds the per-level state over an existing hierarchy. pool
@@ -102,40 +111,57 @@ type PCGMG struct {
 // mesh vector setup only — no communication).
 func NewPCGMG(h *Hierarchy, pool *par.Pool, cfg Config) *PCGMG {
 	cfg.defaults()
-	p := &PCGMG{h: h, cfg: cfg}
+	p := &PCGMG{h: h, cfg: cfg, pool: pool}
 	for l, m := range h.Meshes {
-		lvl := &Level{M: m}
-		lvl.Coef = make([][]float64, len(cfg.Coefs))
-		if l == 0 {
-			for i, cf := range cfg.Coefs {
-				lvl.Coef[i] = cf.Vec
-			}
-		} else {
-			lvl.Asm = fem.NewAssembler(m, cfg.Ndof)
-			lvl.Asm.SetWorkers(1)
-			if pool != nil {
-				lvl.Asm.SetPool(pool)
-			}
-			for i, cf := range cfg.Coefs {
-				lvl.Coef[i] = m.NewVec(cf.Ndof)
-			}
-		}
-		if cfg.BoundaryDirichlet {
-			for i := 0; i < m.NumOwned; i++ {
-				if m.OnBoundary(i) {
-					for d := 0; d < cfg.Ndof; d++ {
-						lvl.bnd = append(lvl.bnd, int32(i*cfg.Ndof+d))
-					}
-				}
-			}
-		}
-		lvl.x = m.NewVec(cfg.Ndof)
-		lvl.b = m.NewVec(cfg.Ndof)
-		lvl.r = m.NewVec(cfg.Ndof)
-		lvl.t = m.NewVec(cfg.Ndof)
-		p.lv = append(p.lv, lvl)
+		p.lv = append(p.lv, p.newLevel(l, m))
 	}
 	return p
+}
+
+// newLevel builds one rung's state against mesh m (l == 0: the fine level,
+// whose coefficients alias the stage fields and whose operator the stage
+// supplies).
+func (p *PCGMG) newLevel(l int, m *mesh.Mesh) *Level {
+	cfg := &p.cfg
+	lvl := &Level{M: m}
+	lvl.Coef = make([][]float64, len(cfg.Coefs))
+	if l == 0 {
+		for i, cf := range cfg.Coefs {
+			lvl.Coef[i] = cf.Vec
+		}
+	} else {
+		lvl.Asm = fem.NewAssembler(m, cfg.Ndof)
+		lvl.Asm.SetWorkers(1)
+		if p.pool != nil {
+			lvl.Asm.SetPool(p.pool)
+		}
+		for i, cf := range cfg.Coefs {
+			lvl.Coef[i] = m.NewVec(cf.Ndof)
+		}
+	}
+	lvl.bnd = levelBnd(m, cfg, nil)
+	lvl.x = m.NewVec(cfg.Ndof)
+	lvl.b = m.NewVec(cfg.Ndof)
+	lvl.r = m.NewVec(cfg.Ndof)
+	lvl.t = m.NewVec(cfg.Ndof)
+	return lvl
+}
+
+// levelBnd collects the owned Dirichlet dof-rows of m into bnd (reusing its
+// storage), or returns nil when the config has no Dirichlet walls.
+func levelBnd(m *mesh.Mesh, cfg *Config, bnd []int32) []int32 {
+	bnd = bnd[:0]
+	if !cfg.BoundaryDirichlet {
+		return nil
+	}
+	for i := 0; i < m.NumOwned; i++ {
+		if m.OnBoundary(i) {
+			for d := 0; d < cfg.Ndof; d++ {
+				bnd = append(bnd, int32(i*cfg.Ndof+d))
+			}
+		}
+	}
+	return bnd
 }
 
 // Levels returns the number of grid levels the cycle runs over.
@@ -146,12 +172,135 @@ func (p *PCGMG) Hierarchy() *Hierarchy { return p.h }
 
 // SetFineOperator points level 0 at the stage's assembled fine matrix.
 // Call before every Refresh; a changed operator object drops the fine
-// smoother so it is rebuilt against the new matrix.
+// smoother so it is rebuilt against the new matrix — unless a Rebind left
+// a pending row patch, in which case the smoother is carried and re-keyed
+// by the next refresh.
 func (p *PCGMG) SetFineOperator(mat *la.BSRMat) {
-	if p.lv[0].Mat != mat {
-		p.lv[0].Mat = mat
-		p.lv[0].smoother = nil
+	f := p.lv[0]
+	if f.Mat != mat {
+		f.Mat = mat
+		if f.pending == nil {
+			f.smoother = nil
+		}
 	}
+}
+
+// Rebind re-keys the preconditioner onto a refreshed hierarchy after an
+// incremental remesh (h and res from RefreshHierarchy over the ladder this
+// PC was built on), without reallocating what the refresh proved intact.
+// Reused levels keep everything — assembler, operator, smoother, work
+// vectors and kernel scratch. Patched levels repair their frozen-sparsity
+// assembler through fem.RebindPatched, resize their vectors, and leave the
+// smoother a pending row patch so the next Refresh carries its
+// factorization index. Cold levels are rebuilt. coefs are the stage's
+// (reallocated) fine-mesh coefficient fields; finePatch is the fine-level
+// row patch for the stage smoother (nil: drop it cold). Call
+// SetFineOperator + Refresh afterwards, as on every step. Collective.
+func (p *PCGMG) Rebind(h *Hierarchy, res *RefreshResult, coefs []Coefficient, epoch uint64, finePatch *la.RowPatch) {
+	cfg := &p.cfg
+	if len(coefs) != len(cfg.Coefs) {
+		panic("mg: PCGMG.Rebind coefficient count mismatch")
+	}
+	cfg.Coefs = coefs
+	old := p.lv
+	lv := make([]*Level, 0, len(h.Meshes))
+	for l, m := range h.Meshes {
+		var st LevelState
+		if res != nil && l < len(res.Levels) {
+			st = res.Levels[l]
+		}
+		switch {
+		case l == 0:
+			f := old[0]
+			f.M = m
+			for i, cf := range cfg.Coefs {
+				f.Coef[i] = cf.Vec
+			}
+			f.Mat = nil
+			f.bnd = levelBnd(m, cfg, f.bnd)
+			f.x = m.NewVec(cfg.Ndof)
+			f.b = m.NewVec(cfg.Ndof)
+			f.r = m.NewVec(cfg.Ndof)
+			f.t = m.NewVec(cfg.Ndof)
+			if f.smoother != nil {
+				if finePatch != nil {
+					f.pending = finePatch
+				} else {
+					f.smoother = nil
+				}
+			}
+			lv = append(lv, f)
+		case st.Reused && l < len(old):
+			// Mesh object unchanged: operator values are refreshed (and the
+			// smoother refactored) by the next Refresh as on any warm step.
+			lv = append(lv, old[l])
+		case st.Delta != nil && l < len(old) && old[l].Asm != nil:
+			lvl := old[l]
+			lvl.Asm.RebindPatched(m, epoch, st.Delta)
+			lvl.M = m
+			lvl.Mat = nil     // recreated from the patched plan by Refresh
+			lvl.Scratch = nil // kernel closures captured the old mesh/coefs
+			for i, cf := range cfg.Coefs {
+				lvl.Coef[i] = m.NewVec(cf.Ndof)
+			}
+			lvl.bnd = levelBnd(m, cfg, lvl.bnd)
+			lvl.x = m.NewVec(cfg.Ndof)
+			lvl.b = m.NewVec(cfg.Ndof)
+			lvl.r = m.NewVec(cfg.Ndof)
+			lvl.t = m.NewVec(cfg.Ndof)
+			if lvl.smoother != nil {
+				lvl.pending = NodeRowPatch(st.Delta, st.OldOwned, m.NumOwned, cfg.Ndof)
+			}
+			lv = append(lv, lvl)
+		default:
+			lv = append(lv, p.newLevel(l, m))
+		}
+	}
+	p.h = h
+	p.lv = lv
+}
+
+// TakeRebindStats drains the accumulated remesh carry-over counters: owned
+// smoother rows whose ILU(0) factorization index was carried vs rebuilt.
+func (p *PCGMG) TakeRebindStats() (kept, rebuilt int) {
+	kept, rebuilt = p.rowsKept, p.rowsRebuilt
+	p.rowsKept, p.rowsRebuilt = 0, 0
+	return kept, rebuilt
+}
+
+// NodeRowPatch expands a mesh delta's node remap into the owned scalar-row
+// patch of an nd-dof-per-node operator (node-major, dof-minor rows): what
+// la's preconditioners consume to carry their factorization indices across
+// an incremental remesh. oldOwned/newOwned are the owned-node counts of the
+// two mesh generations.
+func NodeRowPatch(d *mesh.Delta, oldOwned, newOwned, nd int) *la.RowPatch {
+	rp := &la.RowPatch{
+		Remap: make([]int32, oldOwned*nd),
+		Dirty: make([]bool, newOwned*nd),
+	}
+	for on := 0; on < oldOwned; on++ {
+		nn := int32(-1)
+		if on < len(d.NodeRemap) {
+			nn = d.NodeRemap[on]
+		}
+		if nn >= 0 && int(nn) < newOwned {
+			for dd := 0; dd < nd; dd++ {
+				rp.Remap[on*nd+dd] = nn*int32(nd) + int32(dd)
+			}
+		} else {
+			for dd := 0; dd < nd; dd++ {
+				rp.Remap[on*nd+dd] = -1
+			}
+		}
+	}
+	for nn := 0; nn < newOwned && nn < len(d.DirtyNode); nn++ {
+		if d.DirtyNode[nn] {
+			for dd := 0; dd < nd; dd++ {
+				rp.Dirty[nn*nd+dd] = true
+			}
+		}
+	}
+	return rp
 }
 
 // Refresh re-injects the coefficient fields down the ladder, reassembles
@@ -181,10 +330,28 @@ func (p *PCGMG) Refresh() {
 
 func (p *PCGMG) refreshSmoother(lvl *Level) {
 	if lvl.smoother == nil {
+		lvl.pending = nil
 		if p.cfg.Smoother == "jacobi" {
 			lvl.smoother = la.NewPCJacobi(lvl.Mat)
 		} else {
 			lvl.smoother = la.NewPCBJacobiILU0(lvl.Mat)
+		}
+		return
+	}
+	if patch := lvl.pending; patch != nil {
+		// One-shot remesh carry-over: re-key the smoother onto the level's
+		// rebuilt operator, keeping the factorization index of clean rows.
+		lvl.pending = nil
+		switch sm := lvl.smoother.(type) {
+		case *la.PCBJacobiILU0:
+			kept, rebuilt := sm.RebindPatched(lvl.Mat, patch)
+			p.rowsKept += kept
+			p.rowsRebuilt += rebuilt
+		case *la.PCJacobi:
+			sm.Rebind(lvl.Mat)
+		default:
+			lvl.smoother = nil
+			p.refreshSmoother(lvl)
 		}
 		return
 	}

@@ -1,0 +1,165 @@
+package mg
+
+import (
+	"math"
+	"testing"
+
+	"proteus/internal/mesh"
+	"proteus/internal/octree"
+	"proteus/internal/par"
+	"proteus/internal/sfc"
+)
+
+// refineDisc refines every leaf whose center lies inside the disc by one
+// level, leaving the rest untouched (the local half of a remesh round).
+func refineDisc(dim int, leaves []sfc.Octant, cx, cy, r float64, maxLevel int) []sfc.Octant {
+	var out []sfc.Octant
+	for _, o := range leaves {
+		s := float64(o.Side()) / float64(sfc.MaxCoord)
+		x := float64(o.X)/float64(sfc.MaxCoord) + s/2
+		y := float64(o.Y)/float64(sfc.MaxCoord) + s/2
+		if int(o.Level) < maxLevel && math.Hypot(x-cx, y-cy) < r {
+			for ch := 0; ch < o.NumChildren(); ch++ {
+				out = append(out, o.Child(ch))
+			}
+		} else {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// transferFill evaluates a deterministic smooth field at every local node,
+// ghosts included, so Eval/Restrict need no exchange and two bitwise-equal
+// meshes receive bitwise-equal inputs.
+func transferFill(m *mesh.Mesh) []float64 {
+	v := m.NewVec(1)
+	for i := 0; i < m.NumLocal; i++ {
+		x, y, _ := m.NodeCoord(i)
+		v[i] = math.Sin(11*x+3*y) + x*y - 0.5*y
+	}
+	return v
+}
+
+// mustEqualHierarchies asserts the delta-aware refresh reproduced the
+// from-scratch ladder bitwise: same depth, identical per-level forests and
+// node sets, and Down/Up transfers that act identically on a deterministic
+// field (Eval both ways plus the Up restriction).
+func mustEqualHierarchies(t *testing.T, kind string, ranks int, got, want *Hierarchy) {
+	t.Helper()
+	if got.Levels() != want.Levels() {
+		t.Fatalf("%s ranks=%d: refreshed ladder has %d levels, from-scratch %d", kind, ranks, got.Levels(), want.Levels())
+	}
+	if got.Meshes[0] != want.Meshes[0] {
+		t.Fatalf("%s ranks=%d: level 0 must alias the fine mesh", kind, ranks)
+	}
+	for l := 1; l < got.Levels(); l++ {
+		gm, wm := got.Meshes[l], want.Meshes[l]
+		if len(gm.Elems) != len(wm.Elems) || gm.NumOwned != wm.NumOwned || gm.NumLocal != wm.NumLocal {
+			t.Fatalf("%s ranks=%d level %d: shape differs (%d/%d/%d elems/owned/local vs %d/%d/%d)",
+				kind, ranks, l, len(gm.Elems), gm.NumOwned, gm.NumLocal, len(wm.Elems), wm.NumOwned, wm.NumLocal)
+		}
+		for i := range gm.Elems {
+			if !gm.Elems[i].EqualKey(wm.Elems[i]) {
+				t.Fatalf("%s ranks=%d level %d: elem %d differs", kind, ranks, l, i)
+			}
+		}
+		for i := 0; i < gm.NumLocal; i++ {
+			if gm.Keys[i] != wm.Keys[i] {
+				t.Fatalf("%s ranks=%d level %d: node key %d differs", kind, ranks, l, i)
+			}
+		}
+		fineM, coarseM := got.Meshes[l-1], got.Meshes[l]
+		down := transferFill(fineM)
+		a, b := coarseM.NewVec(1), coarseM.NewVec(1)
+		got.Down[l].Eval(down, 1, a, true)
+		want.Down[l].Eval(down, 1, b, true)
+		for i := 0; i < coarseM.NumOwned; i++ {
+			if a[i] != b[i] {
+				t.Fatalf("%s ranks=%d level %d: Down.Eval differs at node %d: %v vs %v (not bitwise)", kind, ranks, l, i, a[i], b[i])
+			}
+		}
+		up := transferFill(coarseM)
+		pa, pb := fineM.NewVec(1), fineM.NewVec(1)
+		got.Up[l].Eval(up, 1, pa, true)
+		want.Up[l].Eval(up, 1, pb, true)
+		for i := 0; i < fineM.NumOwned; i++ {
+			if pa[i] != pb[i] {
+				t.Fatalf("%s ranks=%d level %d: Up.Eval differs at node %d: %v vs %v (not bitwise)", kind, ranks, l, i, pa[i], pb[i])
+			}
+		}
+		ra, rb := coarseM.NewVec(1), coarseM.NewVec(1)
+		got.Up[l].Restrict(down, 1, ra)
+		want.Up[l].Restrict(down, 1, rb)
+		for i := 0; i < coarseM.NumOwned; i++ {
+			if ra[i] != rb[i] {
+				t.Fatalf("%s ranks=%d level %d: Up.Restrict differs at node %d: %v vs %v (not bitwise)", kind, ranks, l, i, ra[i], rb[i])
+			}
+		}
+	}
+}
+
+// TestRefreshHierarchyDeltaBitwise: the delta-aware refresh — level reuse,
+// in-place level patching and transfer patching included — reproduces the
+// from-scratch ladder bitwise, on a partition-stable patch round and on a
+// splitter-moved (migrate-then-patch) round, at 1, 2 and 4 ranks.
+func TestRefreshHierarchyDeltaBitwise(t *testing.T) {
+	for _, ranks := range []int{1, 2, 4} {
+		par.Run(ranks, func(c *par.Comm) {
+			opts := HierarchyOptions{}
+			var ws Workspace
+			m0 := gradedMesh(c, 2, 2, 5)
+			prevH, _ := RefreshHierarchy(m0, nil, nil, &ws, opts)
+
+			// Round 1: refine a disc and ripple the 2:1 balance without
+			// repartitioning — the splitters stay put and mesh.Patch
+			// engages (serially it always does). If the balance ripple
+			// crossed a rank boundary, fall back to the migrated patch so
+			// the round still hands the refresh a composed delta.
+			refined := refineDisc(2, m0.Elems, 0.55, 0.35, 0.12, 6)
+			balanced := octree.Balance21Distributed(c, 2, refined, nil)
+			m1, d1 := mesh.Patch(c, 2, balanced, m0, octree.AddedLeaves(m0.Elems, balanced))
+			if m1 == nil {
+				m1, _, d1 = mesh.PatchMigrated(m0, balanced)
+			}
+			if d1 == nil {
+				panic("round 1 produced no delta")
+			}
+			got1, res1 := RefreshHierarchy(m1, prevH, d1, &ws, opts)
+			mustEqualHierarchies(t, "stable", ranks, got1, NewHierarchy(m1, opts))
+			if ranks == 1 {
+				// Serially every splitter table is trivially stable, so each
+				// coarse level with a predecessor must be carried — reused or
+				// patched, never cold. (A deeper new ladder may add levels
+				// below the old one; those have nothing to carry from.)
+				carry := got1.Levels() - 1
+				if p := prevH.Levels() - 1; p < carry {
+					carry = p
+				}
+				if res1.LevelsReused+res1.LevelsPatched != carry {
+					t.Fatalf("serial stable round built a coarse level cold: reused=%d patched=%d want %d carried",
+						res1.LevelsReused, res1.LevelsPatched, carry)
+				}
+			}
+
+			// Round 2: refine elsewhere, then skew the partition weights by
+			// position so the splitters move and the round must take the
+			// migrate-then-patch path (PatchMigrated composes the delta).
+			refined2 := refineDisc(2, m1.Elems, 0.3, 0.7, 0.1, 6)
+			balanced2 := octree.Balance21Distributed(c, 2, refined2, nil)
+			w := make([]float64, len(balanced2))
+			for i, o := range balanced2 {
+				s := float64(o.Side()) / float64(sfc.MaxCoord)
+				x := float64(o.X)/float64(sfc.MaxCoord) + s/2
+				w[i] = 1 + 6*x
+			}
+			moved := octree.PartitionWeighted(c, balanced2, w)
+			m2, _, d2 := mesh.PatchMigrated(m1, moved)
+			if m2 == nil || d2 == nil {
+				panic("round 2 migrated patch failed")
+			}
+			got2, _ := RefreshHierarchy(m2, got1, d2, &ws, opts)
+			mustEqualHierarchies(t, "moved", ranks, got2, NewHierarchy(m2, opts))
+		})
+	}
+}
